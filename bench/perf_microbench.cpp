@@ -1,0 +1,103 @@
+/// \file perf_microbench.cpp
+/// \brief google-benchmark microbenchmarks for the numerical substrates:
+///        steady-state thermal solves vs grid resolution, thermosyphon
+///        solves, and the full coupled server simulation.
+
+#include <benchmark/benchmark.h>
+
+#include "tpcool/core/server.hpp"
+#include "tpcool/mapping/config_select.hpp"
+
+namespace {
+
+using namespace tpcool;
+
+core::ServerConfig config_with_cell(double cell_m) {
+  core::ServerConfig config;
+  config.stack.cell_size_m = cell_m;
+  config.design.evaporator = core::default_evaporator_geometry(
+      thermosyphon::Orientation::kEastWest);
+  return config;
+}
+
+/// Steady-state solve (including boundary assembly) vs grid resolution.
+void BM_ThermalSteadySolve(benchmark::State& state) {
+  const double cell = 1e-3 * static_cast<double>(state.range(0)) / 10.0;
+  thermal::PackageStackConfig stack_config;
+  stack_config.cell_size_m = cell;
+  thermal::ThermalModel model(thermal::make_package_stack(stack_config));
+  model.set_top_boundary_uniform(1.2e4, 40.0);
+  util::Grid2D<double> power(model.nx(), model.ny(), 0.0);
+  power(model.nx() / 2, model.ny() / 2) = 60.0;
+  model.set_power_map(power);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.solve_steady());
+  }
+  state.counters["cells"] = static_cast<double>(model.cell_count());
+}
+BENCHMARK(BM_ThermalSteadySolve)->Arg(20)->Arg(15)->Arg(10)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// One transient backward-Euler step.
+void BM_ThermalTransientStep(benchmark::State& state) {
+  thermal::PackageStackConfig stack_config;
+  stack_config.cell_size_m = 1.5e-3;
+  thermal::ThermalModel model(thermal::make_package_stack(stack_config));
+  model.set_top_boundary_uniform(1.2e4, 40.0);
+  model.set_power_map(util::Grid2D<double>(model.nx(), model.ny(), 0.02));
+  std::vector<double> t(model.cell_count(), 40.0);
+  for (auto _ : state) {
+    model.step_transient(t, 0.1);
+  }
+}
+BENCHMARK(BM_ThermalTransientStep)->Unit(benchmark::kMillisecond);
+
+/// Thermosyphon loop + channel solve on a fixed heat map.
+void BM_ThermosyphonSolve(benchmark::State& state) {
+  core::ServerModel server(config_with_cell(1.0e-3));
+  const thermal::StackModel& stack = server.stack();
+  util::Grid2D<double> heat(stack.grid.nx, stack.grid.ny, 0.0);
+  for (std::size_t iy = 0; iy < stack.grid.ny; ++iy) {
+    for (std::size_t ix = 0; ix < stack.grid.nx; ++ix) {
+      const auto cell = stack.grid.cell_rect(ix, iy);
+      if (stack.die_region.contains(cell.center_x(), cell.center_y())) {
+        heat(ix, iy) = 0.2;
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        server.thermosyphon_model().solve(heat, server.operating_point()));
+  }
+}
+BENCHMARK(BM_ThermosyphonSolve)->Unit(benchmark::kMicrosecond);
+
+/// Full coupled server simulation (the unit of every experiment).
+void BM_CoupledServerSimulation(benchmark::State& state) {
+  core::ServerModel server(
+      config_with_cell(1e-3 * static_cast<double>(state.range(0)) / 10.0));
+  const auto& bench = workload::find_benchmark("x264");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.simulate(
+        bench, {4, 2, 3.2}, {5, 4, 7, 2}, power::CState::kC1));
+  }
+}
+BENCHMARK(BM_CoupledServerSimulation)->Arg(15)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+/// Scheduling decision only (profiling + selection + placement).
+void BM_ScheduleDecision(benchmark::State& state) {
+  core::ServerModel server(config_with_cell(1.5e-3));
+  workload::Profiler profiler(server.power_model());
+  const auto& bench = workload::find_benchmark("ferret");
+  for (auto _ : state) {
+    const auto profile = profiler.profile(bench, power::CState::kC1E);
+    benchmark::DoNotOptimize(
+        mapping::algorithm1_select(profile, workload::QoSRequirement{2.0}));
+  }
+}
+BENCHMARK(BM_ScheduleDecision)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

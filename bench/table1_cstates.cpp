@@ -1,0 +1,39 @@
+/// \file table1_cstates.cpp
+/// \brief Regenerates Table I: C-state power consumption of the Xeon E5 v4
+///        for all 8 cores at the three DVFS levels.
+
+#include <iostream>
+
+#include "tpcool/power/cstates.hpp"
+#include "tpcool/util/table.hpp"
+
+int main() {
+  using namespace tpcool;
+  std::cout << "== Table I: C-state power, all 8 cores ==\n\n";
+
+  util::TablePrinter table({"state", "latency [us]", "P @2.6GHz [W]",
+                            "P @2.9GHz [W]", "P @3.2GHz [W]"});
+  for (const power::CState s :
+       {power::CState::kPoll, power::CState::kC1, power::CState::kC1E}) {
+    table.add_row({power::to_string(s),
+                   util::TablePrinter::fmt(power::cstate_latency_us(s), 0),
+                   util::TablePrinter::fmt(power::cstate_power_all8_w(s, 2.6), 0),
+                   util::TablePrinter::fmt(power::cstate_power_all8_w(s, 2.9), 0),
+                   util::TablePrinter::fmt(power::cstate_power_all8_w(s, 3.2), 0)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper (Table I):\n"
+               "POLL   0    27   32   40\n"
+               "C1     2    14   15   17\n"
+               "C1E    10   9    9    9\n"
+               "\nmodel extension (deeper states, datasheet-consistent):\n";
+  util::TablePrinter ext({"state", "latency [us]", "P [W] (all 8 cores)"});
+  for (const power::CState s : {power::CState::kC3, power::CState::kC6}) {
+    ext.add_row({power::to_string(s),
+                 util::TablePrinter::fmt(power::cstate_latency_us(s), 0),
+                 util::TablePrinter::fmt(power::cstate_power_all8_w(s, 3.2), 1)});
+  }
+  ext.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,51 @@
+/// \file daily_trace.cpp
+/// \brief Trace-driven scenario: a server plays a day-like workload pattern
+///        (overnight batch, interactive bursts, latency-critical spikes)
+///        through the scheduler and the transient thermal model, carrying
+///        thermal state across phase switches.
+
+#include <iostream>
+
+#include "tpcool/core/pipelines.hpp"
+#include "tpcool/core/trace_runner.hpp"
+#include "tpcool/util/table.hpp"
+
+int main() {
+  using namespace tpcool;
+  std::cout << "== Daily workload trace on the proposed system ==\n\n";
+
+  core::ApproachPipeline pipeline(core::Approach::kProposed, 1.5e-3);
+  core::TraceRunner runner(pipeline.server(), pipeline.scheduler(),
+                           {.control_period_s = 0.5});
+
+  const workload::WorkloadTrace trace = workload::make_daily_trace(8.0);
+  const core::TraceResult result = runner.run(trace);
+
+  util::TablePrinter table({"phase", "benchmark", "QoS", "config", "idle",
+                            "P [W]", "peak die [C]", "peak TCASE [C]",
+                            "energy [J]"});
+  for (const core::PhaseRecord& r : result.phases) {
+    table.add_row({std::to_string(r.phase_index), r.benchmark,
+                   util::TablePrinter::fmt(r.qos_factor, 0) + "x",
+                   r.decision.point.config.label(),
+                   power::to_string(r.decision.idle_state),
+                   util::TablePrinter::fmt(r.avg_power_w, 1),
+                   util::TablePrinter::fmt(r.peak_die_c, 1),
+                   util::TablePrinter::fmt(r.peak_tcase_c, 1),
+                   util::TablePrinter::fmt(r.energy_j, 0)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\ntrace duration  : " << trace.total_duration_s() << " s\n"
+            << "peak TCASE      : "
+            << util::TablePrinter::fmt(result.peak_tcase_c, 1)
+            << " C (limit 85, exceeded: "
+            << (result.tcase_limit_exceeded ? "yes" : "no") << ")\n"
+            << "package energy  : "
+            << util::TablePrinter::fmt(result.total_energy_j, 0) << " J\n"
+            << "\nnote how the scheduler shifts between full-throttle "
+               "configurations for the 1x\nbursts and small, deep-sleep "
+               "configurations for the 3x batch phases — the\nthermosyphon "
+               "absorbs both without approaching TCASE_MAX.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "tpcool/cooling/air_cooling.hpp"
+
+#include <cmath>
+
+#include "tpcool/util/error.hpp"
+#include "tpcool/util/interp.hpp"
+#include "tpcool/util/rootfind.hpp"
+
+namespace tpcool::cooling {
+
+AirCoolerState air_cooler_at(const AirCoolerDesign& design,
+                             double speed_frac) {
+  TPCOOL_REQUIRE(design.base_resistance_k_w > 0.0 &&
+                     design.nominal_conductance_w_k > 0.0,
+                 "invalid air-cooler design");
+  AirCoolerState state;
+  state.speed_frac = util::clamp(speed_frac, design.min_speed_frac,
+                                 design.max_speed_frac);
+  // Convection scales with airflow^0.8 (turbulent fin channels); airflow is
+  // proportional to fan speed.
+  state.conductance_w_k =
+      design.nominal_conductance_w_k * std::pow(state.speed_frac, 0.8);
+  state.case_to_air_k_w =
+      design.base_resistance_k_w + 1.0 / state.conductance_w_k;
+  // Fan affinity law: electrical power ∝ speed³.
+  state.fan_power_w =
+      design.nominal_fan_power_w * std::pow(state.speed_frac, 3.0);
+  return state;
+}
+
+double air_cooled_case_c(const AirCoolerState& state, double heat_w,
+                         double air_inlet_c) {
+  TPCOOL_REQUIRE(heat_w >= 0.0, "negative heat load");
+  return air_inlet_c + heat_w * state.case_to_air_k_w;
+}
+
+double required_fan_speed(const AirCoolerDesign& design, double heat_w,
+                          double air_inlet_c, double tcase_limit_c) {
+  TPCOOL_REQUIRE(heat_w >= 0.0, "negative heat load");
+  TPCOOL_REQUIRE(tcase_limit_c > air_inlet_c,
+                 "limit must exceed the air inlet temperature");
+  const auto tcase_at = [&](double speed) {
+    return air_cooled_case_c(air_cooler_at(design, speed), heat_w,
+                             air_inlet_c);
+  };
+  if (tcase_at(design.min_speed_frac) <= tcase_limit_c) {
+    return design.min_speed_frac;
+  }
+  if (tcase_at(design.max_speed_frac) > tcase_limit_c) {
+    // Even flat-out the sink cannot hold the load.
+    return design.max_speed_frac * 1.01;
+  }
+  return util::bisect(
+      [&](double speed) { return tcase_at(speed) - tcase_limit_c; },
+      design.min_speed_frac, design.max_speed_frac,
+      {.tolerance = 1e-4, .max_iterations = 100});
+}
+
+}  // namespace tpcool::cooling

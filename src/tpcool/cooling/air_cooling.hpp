@@ -1,0 +1,49 @@
+#pragma once
+/// \file air_cooling.hpp
+/// \brief Conventional air-cooling baseline (heatsink + fan): the technology
+///        the paper's introduction argues "fails to cope" with power-hungry
+///        servers. Used by the cooling-technology comparison bench and the
+///        PUE accounting.
+///
+/// Model: a finned heatsink characterized by its base spreading resistance
+/// and a convective conductance proportional to airflow^0.8 (turbulent fin
+/// channels), driven by a fan whose electrical power grows with the cube of
+/// its speed.
+
+namespace tpcool::cooling {
+
+/// Heatsink + fan characterization.
+struct AirCoolerDesign {
+  double base_resistance_k_w = 0.10;   ///< Conduction/spreading resistance.
+  /// Convective conductance at nominal airflow [W/K].
+  double nominal_conductance_w_k = 6.0;
+  double nominal_airflow_cfm = 60.0;   ///< Airflow at nominal fan speed.
+  double nominal_fan_power_w = 6.0;    ///< Electrical power at nominal speed.
+  double min_speed_frac = 0.2;         ///< Fan floor (bearings/control).
+  double max_speed_frac = 1.5;         ///< Over-speed ceiling.
+};
+
+/// Operating state of the air cooler at a fan speed fraction.
+struct AirCoolerState {
+  double speed_frac = 1.0;
+  double conductance_w_k = 0.0;      ///< Effective sink-to-air conductance.
+  double case_to_air_k_w = 0.0;      ///< Total case-to-ambient resistance.
+  double fan_power_w = 0.0;
+};
+
+/// Evaluate the cooler at a fan speed fraction (clamped to design limits).
+[[nodiscard]] AirCoolerState air_cooler_at(const AirCoolerDesign& design,
+                                           double speed_frac);
+
+/// Case temperature [°C] for a heat load at an inlet-air temperature.
+[[nodiscard]] double air_cooled_case_c(const AirCoolerState& state,
+                                       double heat_w, double air_inlet_c);
+
+/// Minimum fan speed fraction keeping TCASE at/below the limit, or a value
+/// > max_speed_frac when the sink cannot hold the load (air cooling fails —
+/// the paper's motivation). Monotone bisection on the fan curve.
+[[nodiscard]] double required_fan_speed(const AirCoolerDesign& design,
+                                        double heat_w, double air_inlet_c,
+                                        double tcase_limit_c);
+
+}  // namespace tpcool::cooling

@@ -1,0 +1,31 @@
+#include "tpcool/cooling/chiller.hpp"
+
+#include "tpcool/materials/water.hpp"
+#include "tpcool/util/error.hpp"
+#include "tpcool/util/interp.hpp"
+
+namespace tpcool::cooling {
+
+double thermal_lift_power_w(double flow_kg_h, double delta_t_k,
+                            double water_temp_c) {
+  TPCOOL_REQUIRE(flow_kg_h >= 0.0, "negative water flow");
+  TPCOOL_REQUIRE(delta_t_k >= 0.0, "negative thermal lift");
+  return materials::water_capacity_rate_w_k(flow_kg_h, water_temp_c) *
+         delta_t_k;
+}
+
+double ChillerModel::cop(double setpoint_c) const {
+  TPCOOL_REQUIRE(second_law_eff > 0.0 && second_law_eff <= 1.0,
+                 "second-law efficiency outside (0, 1]");
+  const double lift = ambient_c - setpoint_c + approach_k;
+  if (lift <= 0.0) return max_cop;  // warmer than ambient: free cooling
+  const double carnot = (setpoint_c + 273.15) / lift;
+  return util::clamp(second_law_eff * carnot, 0.5, max_cop);
+}
+
+double ChillerModel::electrical_power_w(double q_w, double setpoint_c) const {
+  TPCOOL_REQUIRE(q_w >= 0.0, "negative heat load");
+  return q_w / cop(setpoint_c) + pump_overhead_w;
+}
+
+}  // namespace tpcool::cooling

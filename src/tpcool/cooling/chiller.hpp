@@ -1,0 +1,35 @@
+#pragma once
+/// \file chiller.hpp
+/// \brief Rack-level water chiller: the paper's Eq. (1) thermal-lift power
+///        accounting plus a condenser-approach COP model for the electrical
+///        power ("in real scenarios, the chiller would need to consume much
+///        less power … even close to zero" — §VIII-B).
+
+namespace tpcool::cooling {
+
+/// Paper Eq. (1): power required to change the temperature of a water stream
+/// by ΔT:  P = V̇·ρ·c_w·ΔT  (V̇ in L/s, ρ in kg/L). Equivalent to ṁ·c_w·ΔT.
+/// \param flow_kg_h water mass flow [kg/h].
+/// \param delta_t_k temperature change imposed on the stream [K].
+/// \param water_temp_c bulk temperature for property lookup [°C].
+[[nodiscard]] double thermal_lift_power_w(double flow_kg_h, double delta_t_k,
+                                          double water_temp_c);
+
+/// Vapor-compression chiller with a second-law efficiency against the
+/// Carnot limit between the water setpoint and ambient.
+struct ChillerModel {
+  double ambient_c = 35.0;       ///< Heat-rejection ambient.
+  double approach_k = 3.0;       ///< Condenser + evaporator approach ΔT.
+  double second_law_eff = 0.50;  ///< Fraction of Carnot COP achieved.
+  double pump_overhead_w = 0.5;  ///< Circulation pump, per loop.
+  double max_cop = 20.0;         ///< Free-cooling cap (setpoint ≥ ambient).
+
+  /// Coefficient of performance at a water setpoint [°C]. Higher setpoints
+  /// approach free cooling; the COP is clamped to [0.5, max_cop].
+  [[nodiscard]] double cop(double setpoint_c) const;
+
+  /// Electrical power [W] to remove `q_w` of heat at a setpoint.
+  [[nodiscard]] double electrical_power_w(double q_w, double setpoint_c) const;
+};
+
+}  // namespace tpcool::cooling

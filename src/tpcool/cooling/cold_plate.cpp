@@ -1,0 +1,59 @@
+#include "tpcool/cooling/cold_plate.hpp"
+
+#include <cmath>
+
+#include "tpcool/materials/water.hpp"
+#include "tpcool/util/error.hpp"
+#include "tpcool/util/interp.hpp"
+#include "tpcool/util/rootfind.hpp"
+
+namespace tpcool::cooling {
+
+ColdPlateState cold_plate_at(const ColdPlateDesign& design,
+                             double flow_frac) {
+  TPCOOL_REQUIRE(design.nominal_flow_kg_h > 0.0 &&
+                     design.nominal_conductance_w_k > 0.0,
+                 "invalid cold-plate design");
+  ColdPlateState state;
+  state.flow_frac =
+      util::clamp(flow_frac, design.min_flow_frac, design.max_flow_frac);
+  state.flow_kg_h = design.nominal_flow_kg_h * state.flow_frac;
+  state.conductance_w_k =
+      design.nominal_conductance_w_k * std::pow(state.flow_frac, 0.8);
+  // Δp ∝ flow², pump power = Δp·V̇ ∝ flow³.
+  state.pump_power_w =
+      design.nominal_pump_power_w * std::pow(state.flow_frac, 3.0);
+  return state;
+}
+
+double cold_plate_case_c(const ColdPlateState& state, double heat_w,
+                         double coolant_in_c) {
+  TPCOOL_REQUIRE(heat_w >= 0.0, "negative heat load");
+  const double c_w =
+      materials::water_capacity_rate_w_k(state.flow_kg_h, coolant_in_c);
+  // Mid-plate coolant temperature + film drop + plate conduction.
+  return coolant_in_c + 0.5 * heat_w / c_w + heat_w / state.conductance_w_k +
+         heat_w * 0.02;
+}
+
+double required_flow(const ColdPlateDesign& design, double heat_w,
+                     double coolant_in_c, double tcase_limit_c) {
+  TPCOOL_REQUIRE(tcase_limit_c > coolant_in_c,
+                 "limit must exceed the coolant inlet temperature");
+  const auto tcase_at = [&](double frac) {
+    return cold_plate_case_c(cold_plate_at(design, frac), heat_w,
+                             coolant_in_c);
+  };
+  if (tcase_at(design.min_flow_frac) <= tcase_limit_c) {
+    return design.min_flow_frac;
+  }
+  if (tcase_at(design.max_flow_frac) > tcase_limit_c) {
+    return design.max_flow_frac * 1.01;
+  }
+  return util::bisect(
+      [&](double frac) { return tcase_at(frac) - tcase_limit_c; },
+      design.min_flow_frac, design.max_flow_frac,
+      {.tolerance = 1e-4, .max_iterations = 100});
+}
+
+}  // namespace tpcool::cooling

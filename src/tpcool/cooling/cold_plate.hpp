@@ -1,0 +1,50 @@
+#pragma once
+/// \file cold_plate.hpp
+/// \brief Single-phase liquid cold plate baseline (DCLC-class, the paper's
+///        related work [6][13]): high mass flow, pumping power, no phase
+///        change. Used by the cooling-technology comparison.
+///
+/// Model: a micro-channel cold plate with a convective conductance that
+/// grows with coolant flow^0.8 and a hydraulic pumping power that grows with
+/// flow³ (Δp ∝ flow², P = Δp·V̇). Unlike the thermosyphon, heat pickup also
+/// warms the coolant along the plate (sensible, not latent), which raises
+/// the effective sink temperature at low flows — the reason single-phase
+/// cooling needs high mass flow rates (paper §II-A).
+
+namespace tpcool::cooling {
+
+/// Cold-plate characterization.
+struct ColdPlateDesign {
+  double base_resistance_k_w = 0.02;  ///< Plate conduction resistance.
+  /// Convective conductance at nominal flow [W/K].
+  double nominal_conductance_w_k = 12.0;
+  double nominal_flow_kg_h = 60.0;    ///< Single-phase needs ~10x the
+                                      ///  thermosyphon's water flow.
+  double nominal_pump_power_w = 8.0;  ///< Hydraulic+motor at nominal flow.
+  double min_flow_frac = 0.1;
+  double max_flow_frac = 2.0;
+};
+
+/// Operating state at a flow fraction.
+struct ColdPlateState {
+  double flow_frac = 1.0;
+  double flow_kg_h = 0.0;
+  double conductance_w_k = 0.0;
+  double pump_power_w = 0.0;
+};
+
+[[nodiscard]] ColdPlateState cold_plate_at(const ColdPlateDesign& design,
+                                           double flow_frac);
+
+/// Case temperature [°C]: coolant-inlet temperature + sensible coolant rise
+/// (half, mid-plate average) + film and conduction drops.
+[[nodiscard]] double cold_plate_case_c(const ColdPlateState& state,
+                                       double heat_w, double coolant_in_c);
+
+/// Minimum flow fraction keeping TCASE at/below the limit, or a value above
+/// max_flow_frac when infeasible.
+[[nodiscard]] double required_flow(const ColdPlateDesign& design,
+                                   double heat_w, double coolant_in_c,
+                                   double tcase_limit_c);
+
+}  // namespace tpcool::cooling

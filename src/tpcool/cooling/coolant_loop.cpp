@@ -1,0 +1,37 @@
+#include "tpcool/cooling/coolant_loop.hpp"
+
+#include "tpcool/materials/water.hpp"
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::cooling {
+
+double branch_return_c(const CoolantBranch& branch, double supply_c) {
+  TPCOOL_REQUIRE(branch.flow_kg_h > 0.0, "branch needs positive flow");
+  TPCOOL_REQUIRE(branch.heat_load_w >= 0.0, "negative heat load");
+  const double c_w =
+      materials::water_capacity_rate_w_k(branch.flow_kg_h, supply_c);
+  return supply_c + branch.heat_load_w / c_w;
+}
+
+double mixed_return_c(const CoolantBranch* branches, unsigned count,
+                      double supply_c) {
+  TPCOOL_REQUIRE(branches != nullptr && count > 0, "no branches");
+  double flow_sum = 0.0;
+  double weighted = 0.0;
+  for (unsigned i = 0; i < count; ++i) {
+    if (branches[i].flow_kg_h <= 0.0) continue;
+    flow_sum += branches[i].flow_kg_h;
+    weighted += branches[i].flow_kg_h * branch_return_c(branches[i], supply_c);
+  }
+  TPCOOL_REQUIRE(flow_sum > 0.0, "all branches have zero flow");
+  return weighted / flow_sum;
+}
+
+double total_flow_kg_h(const CoolantBranch* branches, unsigned count) {
+  TPCOOL_REQUIRE(branches != nullptr, "no branches");
+  double sum = 0.0;
+  for (unsigned i = 0; i < count; ++i) sum += branches[i].flow_kg_h;
+  return sum;
+}
+
+}  // namespace tpcool::cooling

@@ -1,0 +1,27 @@
+#pragma once
+/// \file coolant_loop.hpp
+/// \brief Secondary (water) loop accounting between the thermosyphon
+///        condensers and the rack chiller.
+
+namespace tpcool::cooling {
+
+/// One water branch through a thermosyphon condenser.
+struct CoolantBranch {
+  double flow_kg_h = 7.0;     ///< Valve-controlled branch flow.
+  double heat_load_w = 0.0;   ///< Heat picked up from the condenser.
+};
+
+/// Return (outlet) temperature of a branch fed at `supply_c` [°C].
+[[nodiscard]] double branch_return_c(const CoolantBranch& branch,
+                                     double supply_c);
+
+/// Mixed return temperature of several parallel branches fed at `supply_c`.
+/// (Flow-weighted mix; branches with zero flow are ignored.)
+[[nodiscard]] double mixed_return_c(const CoolantBranch* branches,
+                                    unsigned count, double supply_c);
+
+/// Total water flow of several branches [kg/h].
+[[nodiscard]] double total_flow_kg_h(const CoolantBranch* branches,
+                                     unsigned count);
+
+}  // namespace tpcool::cooling

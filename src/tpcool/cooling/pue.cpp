@@ -1,0 +1,25 @@
+#include "tpcool/cooling/pue.hpp"
+
+namespace tpcool::cooling {
+
+double pue(const FacilityPower& power) {
+  TPCOOL_REQUIRE(power.it_w > 0.0, "PUE needs positive IT power");
+  TPCOOL_REQUIRE(power.chiller_w >= 0.0 && power.pumps_fans_w >= 0.0 &&
+                     power.distribution_w >= 0.0,
+                 "negative facility component");
+  return power.total_w() / power.it_w;
+}
+
+double distribution_loss_w(double it_w, double loss_fraction) {
+  TPCOOL_REQUIRE(it_w >= 0.0, "negative IT power");
+  TPCOOL_REQUIRE(loss_fraction >= 0.0 && loss_fraction < 1.0,
+                 "loss fraction outside [0, 1)");
+  return it_w * loss_fraction;
+}
+
+double cooling_fraction(const FacilityPower& power) {
+  TPCOOL_REQUIRE(power.total_w() > 0.0, "empty facility");
+  return (power.chiller_w + power.pumps_fans_w) / power.total_w();
+}
+
+}  // namespace tpcool::cooling

@@ -1,0 +1,36 @@
+#pragma once
+/// \file pue.hpp
+/// \brief Power Usage Effectiveness accounting (paper §I): PUE = total
+///        facility power / IT power. The thermosyphon of [8] reaches a PUE
+///        of 1.05; air-cooled facilities sit near 1.4–1.65.
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::cooling {
+
+/// Facility-level power breakdown [W] (per server, or aggregated — PUE is
+/// scale-free as long as the breakdown is consistent).
+struct FacilityPower {
+  double it_w = 0.0;            ///< Servers' compute power.
+  double chiller_w = 0.0;       ///< Chiller / CRAC compressor electricity.
+  double pumps_fans_w = 0.0;    ///< Coolant pumps and fans.
+  double distribution_w = 0.0;  ///< UPS/PDU conversion losses.
+
+  [[nodiscard]] double total_w() const {
+    return it_w + chiller_w + pumps_fans_w + distribution_w;
+  }
+};
+
+/// PUE = total / IT. Requires positive IT power.
+[[nodiscard]] double pue(const FacilityPower& power);
+
+/// Distribution losses as a constant efficiency tax on IT power
+/// (modern UPS+PDU chains are ~3 % lossy).
+[[nodiscard]] double distribution_loss_w(double it_w,
+                                         double loss_fraction = 0.03);
+
+/// Cooling power ratio (cooling / total): the paper cites ~30 % of facility
+/// energy going to cooling in conventional data centers.
+[[nodiscard]] double cooling_fraction(const FacilityPower& power);
+
+}  // namespace tpcool::cooling

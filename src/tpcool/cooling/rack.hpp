@@ -1,0 +1,38 @@
+#pragma once
+/// \file rack.hpp
+/// \brief Rack-level coolant coordination: one chiller per rack means every
+///        thermosyphon shares the same water supply temperature (§V); the
+///        rack supply must satisfy the most demanding server.
+
+#include <vector>
+
+#include "tpcool/cooling/chiller.hpp"
+#include "tpcool/cooling/coolant_loop.hpp"
+
+namespace tpcool::cooling {
+
+/// Cooling demand of one server as seen by the rack loop.
+struct ServerDemand {
+  double heat_load_w = 0.0;          ///< Condenser heat load.
+  double max_supply_temp_c = 30.0;   ///< Highest water temp keeping TCASE ok.
+  double flow_kg_h = 7.0;            ///< Valve setting.
+};
+
+/// Aggregated rack cooling state.
+struct RackCoolingState {
+  double supply_temp_c = 0.0;   ///< Shared setpoint (min over servers).
+  double return_temp_c = 0.0;   ///< Mixed return to the chiller.
+  double total_flow_kg_h = 0.0;
+  double total_heat_w = 0.0;
+  double chiller_lift_power_w = 0.0;  ///< Paper Eq. (1) accounting.
+  double chiller_electrical_w = 0.0;  ///< COP-model electrical power.
+};
+
+/// Compute the shared-loop state for a set of server demands.
+/// The supply setpoint is the minimum of the per-server maxima (every
+/// thermosyphon must stay feasible), never above `max_setpoint_c`.
+[[nodiscard]] RackCoolingState solve_rack_cooling(
+    const std::vector<ServerDemand>& demands, const ChillerModel& chiller,
+    double max_setpoint_c = 45.0);
+
+}  // namespace tpcool::cooling

@@ -1,0 +1,228 @@
+#include "tpcool/core/experiment.hpp"
+
+#include <cmath>
+
+#include "tpcool/cooling/chiller.hpp"
+#include "tpcool/mapping/clustered.hpp"
+#include "tpcool/mapping/proposed.hpp"
+#include "tpcool/util/error.hpp"
+#include "tpcool/util/rootfind.hpp"
+
+namespace tpcool::core {
+
+std::vector<workload::BenchmarkProfile> selected_benchmarks(
+    const ExperimentOptions& options) {
+  const auto& all = workload::parsec_benchmarks();
+  if (options.max_benchmarks <= 0 ||
+      options.max_benchmarks >= static_cast<int>(all.size())) {
+    return all;
+  }
+  return {all.begin(), all.begin() + options.max_benchmarks};
+}
+
+Fig2Result run_fig2_motivation(const ExperimentOptions& options) {
+  // Non-optimized design (the uniform-flux N-S design of [8]) with a naive
+  // clustered placement of a heavy workload on six cores — the situation
+  // the paper's motivational example illustrates.
+  ApproachPipeline pipeline(Approach::kSoaBalancing, options.cell_size_m);
+  ServerModel& server = pipeline.server();
+
+  const workload::BenchmarkProfile& bench = workload::find_benchmark("x264");
+  const workload::Configuration config{6, 2, 3.2};
+
+  mapping::MappingContext context;
+  context.floorplan = &server.floorplan();
+  context.orientation = server.design().evaporator.orientation;
+  context.idle_state = power::CState::kPoll;
+  context.cores_needed = config.cores;
+  const std::vector<int> cores =
+      mapping::ClusteredPolicy().select_cores(context);
+
+  const SimulationResult sim =
+      server.simulate(bench, config, cores, power::CState::kPoll);
+  Fig2Result result;
+  result.die = sim.die;
+  result.package = sim.package;
+  result.die_field_c = sim.die_field_c;
+  result.package_field_c = sim.package_field_c;
+  return result;
+}
+
+std::vector<Fig5Row> run_fig5_orientation(const ExperimentOptions& options) {
+  std::vector<Fig5Row> rows;
+  for (const thermosyphon::Orientation orientation :
+       {thermosyphon::Orientation::kEastWest,
+        thermosyphon::Orientation::kNorthSouth}) {
+    ServerConfig config = server_config_for(Approach::kProposed,
+                                            options.cell_size_m);
+    config.design.evaporator = default_evaporator_geometry(orientation);
+    ServerModel server(std::move(config));
+
+    // "All cores are equally loaded" (§VI-A): worst-case benchmark, full
+    // configuration.
+    const workload::BenchmarkProfile& bench =
+        workload::worst_case_benchmark();
+    const workload::Configuration full{8, 2, 3.2};
+    std::vector<int> cores{1, 2, 3, 4, 5, 6, 7, 8};
+    const SimulationResult sim =
+        server.simulate(bench, full, cores, power::CState::kPoll);
+
+    rows.push_back({orientation, sim.die, sim.package});
+  }
+  return rows;
+}
+
+std::vector<int> fig6_scenario_cores(int scenario) {
+  // Core ids on the Fig. 2c floorplan: west column (col 0) holds cores
+  // 5,6,7,8 north→south; the next column (col 1) holds 1,2,3,4.
+  switch (scenario) {
+    case 1:  // one active core per channel row, alternating columns
+      return {5, 4, 7, 2};
+    case 2:  // conventional balancing: the four corners
+      return {5, 4, 1, 8};
+    case 3:  // clustered block in the north-west
+      return {5, 1, 6, 2};
+    default:
+      TPCOOL_REQUIRE(false, "Fig. 6 has scenarios 1..3");
+      return {};
+  }
+}
+
+std::vector<Fig6Row> run_fig6_scenarios(const ExperimentOptions& options) {
+  ApproachPipeline pipeline(Approach::kProposed, options.cell_size_m);
+  ServerModel& server = pipeline.server();
+  const workload::BenchmarkProfile& bench = workload::find_benchmark("x264");
+  const workload::Configuration config{4, 2, 3.2};
+
+  std::vector<Fig6Row> rows;
+  for (const power::CState idle : {power::CState::kPoll, power::CState::kC1}) {
+    for (int scenario = 1; scenario <= 3; ++scenario) {
+      Fig6Row row;
+      row.scenario = scenario;
+      row.idle_state = idle;
+      row.cores = fig6_scenario_cores(scenario);
+      row.die = server.simulate(bench, config, row.cores, idle).die;
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+std::vector<Table2Row> run_table2(const ExperimentOptions& options) {
+  const std::vector<workload::BenchmarkProfile> benches =
+      selected_benchmarks(options);
+  std::vector<Table2Row> rows;
+
+  for (const Approach approach :
+       {Approach::kProposed, Approach::kSoaBalancing,
+        Approach::kSoaInletFirst}) {
+    ApproachPipeline pipeline(approach, options.cell_size_m);
+    for (const workload::QoSRequirement& qos : workload::qos_levels()) {
+      Table2Row row;
+      row.approach = approach;
+      row.qos_factor = qos.factor;
+      for (const workload::BenchmarkProfile& bench : benches) {
+        const SimulationResult sim = pipeline.scheduler().run(bench, qos);
+        row.die_max_c += sim.die.max_c;
+        row.die_grad_c_per_mm += sim.die.grad_max_c_per_mm;
+        row.package_max_c += sim.package.max_c;
+        row.package_grad_c_per_mm += sim.package.grad_max_c_per_mm;
+        row.avg_power_w += sim.total_power_w;
+        row.avg_water_dt_k +=
+            sim.syphon.water_outlet_c -
+            pipeline.server().operating_point().water_inlet_c;
+      }
+      const auto n = static_cast<double>(benches.size());
+      row.die_max_c /= n;
+      row.die_grad_c_per_mm /= n;
+      row.package_max_c /= n;
+      row.package_grad_c_per_mm /= n;
+      row.avg_power_w /= n;
+      row.avg_water_dt_k /= n;
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+Fig7Result run_fig7_maps(const ExperimentOptions& options,
+                         const std::string& benchmark) {
+  const workload::BenchmarkProfile& bench =
+      workload::find_benchmark(benchmark);
+  const workload::QoSRequirement qos{2.0};
+
+  ApproachPipeline proposed(Approach::kProposed, options.cell_size_m);
+  ApproachPipeline soa(Approach::kSoaBalancing, options.cell_size_m);
+
+  const SimulationResult sim_p = proposed.scheduler().run(bench, qos);
+  const SimulationResult sim_s = soa.scheduler().run(bench, qos);
+
+  Fig7Result result;
+  result.proposed_map_c = sim_p.die_field_c;
+  result.soa_map_c = sim_s.die_field_c;
+  result.proposed_max_c = sim_p.die.max_c;
+  result.soa_max_c = sim_s.die.max_c;
+  result.grid = proposed.server().stack().grid;
+  result.die_region = proposed.server().stack().die_region;
+  return result;
+}
+
+CoolingPowerResult run_cooling_power(const ExperimentOptions& options) {
+  const workload::BenchmarkProfile& bench = workload::find_benchmark("x264");
+  const workload::QoSRequirement qos{2.0};
+
+  ApproachPipeline proposed(Approach::kProposed, options.cell_size_m);
+  ApproachPipeline soa(Approach::kSoaBalancing, options.cell_size_m);
+
+  CoolingPowerResult result;
+
+  // Proposed approach at its design operating point (7 kg/h @ 30 °C).
+  const SimulationResult sim_p = proposed.scheduler().run(bench, qos);
+  result.proposed_die_max_c = sim_p.die.max_c;
+  result.proposed_water_c = proposed.server().operating_point().water_inlet_c;
+  result.proposed_loop_dt_k =
+      sim_p.syphon.water_outlet_c - result.proposed_water_c;
+
+  // State of the art: same flow rate; find the water temperature needed to
+  // reach the same hot-spot temperature (§VIII-B).
+  const double flow = soa.server().operating_point().water_flow_kg_h;
+  const auto soa_hotspot_at = [&](double water_c) {
+    soa.server().set_operating_point(
+        {.water_flow_kg_h = flow, .water_inlet_c = water_c});
+    return soa.scheduler().run(bench, qos).die.max_c;
+  };
+  const double target = result.proposed_die_max_c;
+  double soa_water = 30.0;
+  if (soa_hotspot_at(30.0) > target) {
+    soa_water = util::bisect(
+        [&](double t_w) { return soa_hotspot_at(t_w) - target; }, 5.0, 30.0,
+        {.tolerance = 0.05, .max_iterations = 30});
+  }
+  result.soa_water_c = soa_water;
+  soa.server().set_operating_point(
+      {.water_flow_kg_h = flow, .water_inlet_c = soa_water});
+  const SimulationResult sim_s = soa.scheduler().run(bench, qos);
+  result.soa_loop_dt_k = sim_s.syphon.water_outlet_c - soa_water;
+
+  // Chiller power, both accountings.
+  result.proposed_lift_power_w = cooling::thermal_lift_power_w(
+      proposed.server().operating_point().water_flow_kg_h,
+      result.proposed_loop_dt_k, result.proposed_water_c);
+  result.soa_lift_power_w = cooling::thermal_lift_power_w(
+      flow, result.soa_loop_dt_k, result.soa_water_c);
+
+  const cooling::ChillerModel chiller;
+  result.proposed_electrical_w = chiller.electrical_power_w(
+      sim_p.total_power_w, result.proposed_water_c);
+  result.soa_electrical_w =
+      chiller.electrical_power_w(sim_s.total_power_w, result.soa_water_c);
+
+  result.lift_reduction_pct =
+      100.0 * (1.0 - result.proposed_lift_power_w / result.soa_lift_power_w);
+  result.electrical_reduction_pct =
+      100.0 *
+      (1.0 - result.proposed_electrical_w / result.soa_electrical_w);
+  return result;
+}
+
+}  // namespace tpcool::core

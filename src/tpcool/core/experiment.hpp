@@ -1,0 +1,122 @@
+#pragma once
+/// \file experiment.hpp
+/// \brief Shared experiment runners regenerating the paper's tables and
+///        figures.  Benches print the results; the acceptance test suite
+///        asserts the qualitative orderings (DESIGN.md §4).
+
+#include <string>
+#include <vector>
+
+#include "tpcool/core/pipelines.hpp"
+
+namespace tpcool::core {
+
+/// Global experiment options.
+struct ExperimentOptions {
+  /// Thermal-grid cell pitch. Coarser grids (e.g. 1.5 mm) make the full
+  /// suite fast enough for CI; the default matches the bench harness.
+  double cell_size_m = 0.75e-3;
+  /// Restrict multi-benchmark experiments to the first N PARSEC profiles
+  /// (0 = all 13). Orderings are stable under the restriction.
+  int max_benchmarks = 0;
+};
+
+/// Benchmarks selected by the options.
+[[nodiscard]] std::vector<workload::BenchmarkProfile> selected_benchmarks(
+    const ExperimentOptions& options);
+
+// ---------------------------------------------------------------- Fig. 2 --
+
+/// Motivation: die vs package profile under a non-optimized design and
+/// mapping (paper Fig. 2: die 66.1/55.9/6.6 vs package 46.4/42.9/0.5).
+struct Fig2Result {
+  thermal::ThermalMetrics die;
+  thermal::ThermalMetrics package;
+  util::Grid2D<double> die_field_c;
+  util::Grid2D<double> package_field_c;
+};
+
+[[nodiscard]] Fig2Result run_fig2_motivation(const ExperimentOptions& options);
+
+// ---------------------------------------------------------------- Fig. 5 --
+
+/// Orientation study row (Design 1 = east-west, Design 2 = north-south).
+struct Fig5Row {
+  thermosyphon::Orientation orientation;
+  thermal::ThermalMetrics die;
+  thermal::ThermalMetrics package;
+};
+
+[[nodiscard]] std::vector<Fig5Row> run_fig5_orientation(
+    const ExperimentOptions& options);
+
+// ---------------------------------------------------------------- Fig. 6 --
+
+/// Mapping-scenario study: 3 placements × idle C-state ∈ {POLL, C1}.
+struct Fig6Row {
+  int scenario = 0;                 ///< 1, 2, 3 per Fig. 6 a–c.
+  power::CState idle_state = power::CState::kPoll;
+  std::vector<int> cores;
+  thermal::ThermalMetrics die;
+};
+
+[[nodiscard]] std::vector<Fig6Row> run_fig6_scenarios(
+    const ExperimentOptions& options);
+
+/// Core sets of the three Fig. 6 scenarios on the default floorplan.
+[[nodiscard]] std::vector<int> fig6_scenario_cores(int scenario);
+
+// --------------------------------------------------------------- Table II --
+
+/// One Table II row: per-approach, per-QoS averages over the benchmarks.
+struct Table2Row {
+  Approach approach = Approach::kProposed;
+  double qos_factor = 1.0;
+  double die_max_c = 0.0;
+  double die_grad_c_per_mm = 0.0;
+  double package_max_c = 0.0;
+  double package_grad_c_per_mm = 0.0;
+  double avg_power_w = 0.0;        ///< Average package power (not in the
+                                   ///  paper's table; used by §VIII-B).
+  double avg_water_dt_k = 0.0;     ///< Average condenser water ΔT.
+};
+
+[[nodiscard]] std::vector<Table2Row> run_table2(
+    const ExperimentOptions& options);
+
+// ---------------------------------------------------------------- Fig. 7 --
+
+/// Sample die thermal maps at 2x QoS: proposed vs state of the art.
+struct Fig7Result {
+  util::Grid2D<double> proposed_map_c;
+  util::Grid2D<double> soa_map_c;
+  double proposed_max_c = 0.0;
+  double soa_max_c = 0.0;
+  floorplan::GridSpec grid;
+  floorplan::Rect die_region;
+};
+
+[[nodiscard]] Fig7Result run_fig7_maps(const ExperimentOptions& options,
+                                       const std::string& benchmark = "x264");
+
+// --------------------------------------------------------------- §VIII-B --
+
+/// Cooling-power comparison at iso-hot-spot (paper §VIII-B).
+struct CoolingPowerResult {
+  double proposed_die_max_c = 0.0;   ///< Hot spot achieved by the proposal.
+  double proposed_water_c = 0.0;     ///< 30 °C by design.
+  double soa_water_c = 0.0;          ///< Water temp the SoA needs to match.
+  double proposed_loop_dt_k = 0.0;   ///< Water in→out ΔT, proposed.
+  double soa_loop_dt_k = 0.0;        ///< Water in→out ΔT, state of the art.
+  double proposed_lift_power_w = 0.0;   ///< Paper Eq. (1) accounting.
+  double soa_lift_power_w = 0.0;
+  double proposed_electrical_w = 0.0;   ///< COP-model chiller electricity.
+  double soa_electrical_w = 0.0;
+  double lift_reduction_pct = 0.0;
+  double electrical_reduction_pct = 0.0;
+};
+
+[[nodiscard]] CoolingPowerResult run_cooling_power(
+    const ExperimentOptions& options);
+
+}  // namespace tpcool::core

@@ -1,0 +1,205 @@
+#include "tpcool/core/multi_app.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "tpcool/util/error.hpp"
+#include "tpcool/workload/performance_model.hpp"
+
+namespace tpcool::core {
+
+namespace {
+
+/// Cheapest (threads-per-core, frequency) for one app at a fixed core
+/// count, by cores-only power; nullopt when no option meets the QoS.
+struct PerCountChoice {
+  workload::Configuration config;
+  double core_power_w = 0.0;
+};
+
+std::optional<PerCountChoice> best_at_core_count(
+    const workload::BenchmarkProfile& bench,
+    const workload::QoSRequirement& qos, int cores) {
+  std::optional<PerCountChoice> best;
+  for (const int tpc : {1, 2}) {
+    for (const double f : power::core_frequency_levels()) {
+      const workload::Configuration config{cores, tpc, f};
+      if (!qos.satisfied_by(workload::normalized_exec_time(bench, config))) {
+        continue;
+      }
+      const double p =
+          cores * power::active_core_power_w(
+                      bench.c_eff_w_per_ghz_v2,
+                      workload::core_utilization(bench, config), f);
+      if (!best || p < best->core_power_w) {
+        best = PerCountChoice{config, p};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MultiAppScheduler::MultiAppScheduler(ServerModel& server,
+                                     const mapping::MappingPolicy& policy)
+    : server_(&server), policy_(&policy) {}
+
+MultiAppSchedule MultiAppScheduler::schedule(
+    const std::vector<AppRequest>& requests) const {
+  TPCOOL_REQUIRE(!requests.empty(), "no applications to schedule");
+  TPCOOL_REQUIRE(requests.size() <= 4,
+                 "co-scheduler supports up to 4 applications per CPU");
+  for (const AppRequest& r : requests) {
+    TPCOOL_REQUIRE(r.bench != nullptr, "request without a benchmark");
+  }
+  const int n_cores = static_cast<int>(server_->floorplan().core_count());
+  const auto n_apps = requests.size();
+
+  // Pre-compute the cheapest per-app choice at every core count.
+  std::vector<std::vector<std::optional<PerCountChoice>>> choice(
+      n_apps, std::vector<std::optional<PerCountChoice>>(
+                  static_cast<std::size_t>(n_cores) + 1));
+  for (std::size_t a = 0; a < n_apps; ++a) {
+    for (int nc = 1; nc <= n_cores; ++nc) {
+      choice[a][static_cast<std::size_t>(nc)] =
+          best_at_core_count(*requests[a].bench, requests[a].qos, nc);
+    }
+  }
+
+  // The package C-state is the deepest every app tolerates.
+  double latency_budget = std::numeric_limits<double>::infinity();
+  for (const AppRequest& r : requests) {
+    latency_budget = std::min(latency_budget, r.bench->tolerable_latency_us);
+  }
+  const power::CState idle_state =
+      power::deepest_cstate_within(latency_budget);
+
+  // Enumerate core partitions (compositions with sum ≤ n_cores), tracking
+  // the minimum total core power.
+  std::vector<int> counts(n_apps, 1);
+  std::vector<int> best_counts;
+  double best_power = std::numeric_limits<double>::infinity();
+  const auto partition_power = [&](const std::vector<int>& c) {
+    double total = 0.0;
+    for (std::size_t a = 0; a < n_apps; ++a) {
+      const auto& opt = choice[a][static_cast<std::size_t>(c[a])];
+      if (!opt) return std::numeric_limits<double>::infinity();
+      total += opt->core_power_w;
+    }
+    return total;
+  };
+  while (true) {
+    int used = 0;
+    for (const int c : counts) used += c;
+    if (used <= n_cores) {
+      const double p = partition_power(counts);
+      if (p < best_power) {
+        best_power = p;
+        best_counts = counts;
+      }
+    }
+    // Odometer increment over {1..n_cores}^n_apps.
+    std::size_t pos = 0;
+    while (pos < n_apps && ++counts[pos] > n_cores) {
+      counts[pos] = 1;
+      ++pos;
+    }
+    if (pos == n_apps) break;
+  }
+  TPCOOL_REQUIRE(!best_counts.empty(),
+                 "no feasible core partition meets every QoS");
+
+  // Joint placement: hottest app first along the policy's preference order.
+  int total_cores = 0;
+  for (const int c : best_counts) total_cores += c;
+  mapping::MappingContext context;
+  context.floorplan = &server_->floorplan();
+  context.orientation = server_->design().evaporator.orientation;
+  context.idle_state = idle_state;
+  context.cores_needed = total_cores;
+  const std::vector<int> order = policy_->select_cores(context);
+
+  std::vector<std::size_t> app_order(n_apps);
+  for (std::size_t a = 0; a < n_apps; ++a) app_order[a] = a;
+  std::sort(app_order.begin(), app_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              const double pa =
+                  choice[a][static_cast<std::size_t>(best_counts[a])]
+                      ->core_power_w /
+                  best_counts[a];
+              const double pb =
+                  choice[b][static_cast<std::size_t>(best_counts[b])]
+                      ->core_power_w /
+                  best_counts[b];
+              return pa > pb;  // highest per-core power density first
+            });
+
+  MultiAppSchedule result;
+  result.idle_state = idle_state;
+  result.assignments.resize(n_apps);
+  std::size_t cursor = 0;
+  double max_freq = power::core_frequency_levels().front();
+  double llc_activity = 0.0;
+  for (const std::size_t a : app_order) {
+    const auto& opt = choice[a][static_cast<std::size_t>(best_counts[a])];
+    AppAssignment assignment;
+    assignment.bench = requests[a].bench;
+    assignment.config = opt->config;
+    assignment.power_w = opt->core_power_w;
+    for (int k = 0; k < best_counts[a]; ++k) {
+      assignment.cores.push_back(order[cursor++]);
+    }
+    max_freq = std::max(max_freq, opt->config.freq_ghz);
+    llc_activity = std::max(llc_activity, requests[a].bench->mem_intensity);
+    result.assignments[a] = std::move(assignment);
+  }
+
+  // Assemble the per-unit powers: per-app active cores, shared idle state,
+  // uncore driven by the fastest app and the most memory-hungry one.
+  double total = 0.0;
+  for (const AppAssignment& assignment : result.assignments) {
+    const double per_core = power::active_core_power_w(
+        assignment.bench->c_eff_w_per_ghz_v2,
+        workload::core_utilization(*assignment.bench, assignment.config),
+        assignment.config.freq_ghz);
+    for (const int id : assignment.cores) {
+      result.unit_powers["core" + std::to_string(id)] = per_core;
+      total += per_core;
+    }
+  }
+  const double idle_power =
+      power::cstate_power_per_core_w(idle_state, max_freq);
+  for (const floorplan::CoreSite& site : server_->floorplan().cores()) {
+    const std::string name = "core" + std::to_string(site.core_id);
+    if (result.unit_powers.find(name) == result.unit_powers.end()) {
+      result.unit_powers[name] = idle_power;
+      total += idle_power;
+    }
+  }
+  result.unit_powers["llc"] = power::llc_power_w(llc_activity);
+  const double mcio = power::uncore_mcio_power_w(
+      power::uncore_frequency_for_core_ghz(max_freq));
+  const double a_mem = server_->floorplan().unit("memctrl").rect.area();
+  const double a_unc = server_->floorplan().unit("uncore_io").rect.area();
+  result.unit_powers["memctrl"] = mcio * a_mem / (a_mem + a_unc);
+  result.unit_powers["uncore_io"] = mcio * a_unc / (a_mem + a_unc);
+  total += result.unit_powers["llc"] + mcio;
+  result.total_power_w = total;
+  return result;
+}
+
+SimulationResult MultiAppScheduler::run(
+    const std::vector<AppRequest>& requests,
+    MultiAppSchedule* schedule_out) {
+  const MultiAppSchedule plan = schedule(requests);
+  if (schedule_out != nullptr) *schedule_out = plan;
+  SimulationResult sim = server_->simulate_powers(plan.unit_powers);
+  for (const AppAssignment& assignment : plan.assignments) {
+    for (const int id : assignment.cores) sim.active_cores.push_back(id);
+  }
+  return sim;
+}
+
+}  // namespace tpcool::core

@@ -1,0 +1,65 @@
+#pragma once
+/// \file multi_app.hpp
+/// \brief Multi-application co-scheduling on one CPU: Algorithm 1 takes a
+///        set A = {A1..An} of applications; when several of them share a
+///        server, the scheduler partitions the cores, selects a per-app
+///        configuration meeting each QoS, and places the apps jointly so
+///        the thermosyphon's channel constraints still hold.
+
+#include <vector>
+
+#include "tpcool/core/server.hpp"
+#include "tpcool/mapping/policy.hpp"
+
+namespace tpcool::core {
+
+/// One co-located application and its QoS requirement.
+struct AppRequest {
+  const workload::BenchmarkProfile* bench = nullptr;
+  workload::QoSRequirement qos{2.0};
+};
+
+/// Per-application outcome.
+struct AppAssignment {
+  const workload::BenchmarkProfile* bench = nullptr;
+  workload::Configuration config;
+  std::vector<int> cores;
+  double power_w = 0.0;  ///< Cores-only power of this app (no uncore share).
+};
+
+/// Joint schedule of all co-located applications.
+struct MultiAppSchedule {
+  std::vector<AppAssignment> assignments;
+  power::CState idle_state = power::CState::kPoll;
+  double total_power_w = 0.0;  ///< Full package power (cores + uncore).
+  floorplan::UnitPowers unit_powers;
+};
+
+/// Co-scheduler bound to a server and a placement policy.
+///
+/// Configuration selection enumerates all core-count partitions (the search
+/// space is small: compositions of ≤8 cores over ≤4 apps) and, for each app
+/// and core count, the cheapest (threads, frequency) meeting its QoS; the
+/// partition with the lowest total package power wins. Placement walks the
+/// policy's preference order, giving the hottest app the most-preferred
+/// (most spread-out) positions first.
+class MultiAppScheduler {
+ public:
+  MultiAppScheduler(ServerModel& server,
+                    const mapping::MappingPolicy& policy);
+
+  /// Throws PreconditionError when the requests cannot all fit or a QoS is
+  /// unsatisfiable with any core partition.
+  [[nodiscard]] MultiAppSchedule schedule(
+      const std::vector<AppRequest>& requests) const;
+
+  /// Schedule and run the coupled thermal simulation.
+  [[nodiscard]] SimulationResult run(const std::vector<AppRequest>& requests,
+                                     MultiAppSchedule* schedule_out = nullptr);
+
+ private:
+  ServerModel* server_;
+  const mapping::MappingPolicy* policy_;
+};
+
+}  // namespace tpcool::core

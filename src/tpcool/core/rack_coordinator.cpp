@@ -1,0 +1,72 @@
+#include "tpcool/core/rack_coordinator.hpp"
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::core {
+
+RackCoordinator::RackCoordinator(Config config)
+    : config_(std::move(config)),
+      pipeline_(config_.approach, config_.cell_size_m) {
+  TPCOOL_REQUIRE(!config_.supply_candidates_c.empty(),
+                 "no supply-temperature candidates");
+}
+
+RackPlan RackCoordinator::plan(const std::vector<std::string>& benchmarks) {
+  TPCOOL_REQUIRE(!benchmarks.empty(), "rack plan needs at least one server");
+  RackPlan plan;
+  ServerModel& server = pipeline_.server();
+  const double design_flow = server.operating_point().water_flow_kg_h;
+
+  // Per-server: schedule, then find the highest feasible supply temperature
+  // (the candidates are scanned descending).
+  for (const std::string& name : benchmarks) {
+    const workload::BenchmarkProfile& bench = workload::find_benchmark(name);
+    ServerPlan sp;
+    sp.benchmark = name;
+    sp.decision = pipeline_.scheduler().schedule(bench, config_.qos);
+
+    bool feasible = false;
+    for (const double t_w : config_.supply_candidates_c) {
+      server.set_operating_point(
+          {.water_flow_kg_h = design_flow, .water_inlet_c = t_w});
+      const SimulationResult sim =
+          server.simulate(bench, sp.decision.point.config, sp.decision.cores,
+                          sp.decision.idle_state);
+      // Feasibility is the TCASE limit; partial channel dry-out over the
+      // dead east area of the die is expected at load and harmless.
+      if (sim.tcase_c <= config_.tcase_limit_c) {
+        sp.max_supply_temp_c = t_w;
+        sp.package_power_w = sim.total_power_w;
+        feasible = true;
+        break;
+      }
+    }
+    TPCOOL_REQUIRE(feasible, "server '" + name +
+                                 "' infeasible at every candidate supply "
+                                 "temperature");
+    plan.servers.push_back(std::move(sp));
+  }
+
+  // Shared loop: the rack setpoint is the minimum per-server maximum.
+  std::vector<cooling::ServerDemand> demands;
+  demands.reserve(plan.servers.size());
+  for (const ServerPlan& sp : plan.servers) {
+    demands.push_back({sp.package_power_w, sp.max_supply_temp_c, design_flow});
+  }
+  plan.cooling = cooling::solve_rack_cooling(demands, config_.chiller);
+
+  // Report each server's hot spot at the shared setpoint.
+  for (ServerPlan& sp : plan.servers) {
+    const workload::BenchmarkProfile& bench =
+        workload::find_benchmark(sp.benchmark);
+    server.set_operating_point({.water_flow_kg_h = design_flow,
+                                .water_inlet_c = plan.cooling.supply_temp_c});
+    const SimulationResult sim =
+        server.simulate(bench, sp.decision.point.config, sp.decision.cores,
+                        sp.decision.idle_state);
+    sp.die_max_c = sim.die.max_c;
+  }
+  return plan;
+}
+
+}  // namespace tpcool::core

@@ -1,0 +1,128 @@
+#include "tpcool/core/runtime_controller.hpp"
+
+#include <algorithm>
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::core {
+
+const char* to_string(ControlAction action) {
+  switch (action) {
+    case ControlAction::kNone: return "-";
+    case ControlAction::kLowerFrequency: return "lower-frequency";
+    case ControlAction::kRaiseFlow: return "raise-flow";
+    case ControlAction::kThrottle: return "throttle";
+  }
+  return "?";
+}
+
+RuntimeController::RuntimeController(ServerModel& server, Config config)
+    : server_(&server), config_(std::move(config)) {
+  TPCOOL_REQUIRE(!config_.flow_steps_kg_h.empty(), "no flow steps");
+  TPCOOL_REQUIRE(std::is_sorted(config_.flow_steps_kg_h.begin(),
+                                config_.flow_steps_kg_h.end()),
+                 "flow steps must be ascending");
+  TPCOOL_REQUIRE(config_.control_period_s > 0.0 && config_.max_steps > 0,
+                 "invalid control timing");
+}
+
+ControlTrace RuntimeController::run(const workload::BenchmarkProfile& bench,
+                                    const ScheduleDecision& decision,
+                                    const workload::QoSRequirement& qos) {
+  ControlTrace trace;
+  thermal::ThermalModel& thermal = server_->thermal();
+  const thermal::StackModel& stack = thermal.stack();
+  const floorplan::Rect package_region{0.0, 0.0, stack.grid.width(),
+                                       stack.grid.height()};
+
+  workload::Configuration config = decision.point.config;
+  std::size_t flow_step = 0;
+  // Start from the decision's valve setting if it matches a step.
+  for (std::size_t i = 0; i < config_.flow_steps_kg_h.size(); ++i) {
+    if (config_.flow_steps_kg_h[i] >=
+        server_->operating_point().water_flow_kg_h - 1e-9) {
+      flow_step = i;
+      break;
+    }
+  }
+
+  // Initial state: uniform package temperature.
+  std::vector<double> t(thermal.cell_count(), config_.start_temperature_c);
+  util::Grid2D<double> evap_heat(stack.grid.nx, stack.grid.ny, 0.0);
+
+  const auto lower_freq_ok = [&](double next_f) {
+    workload::Configuration candidate = config;
+    candidate.freq_ghz = next_f;
+    return qos.satisfied_by(workload::normalized_exec_time(bench, candidate));
+  };
+
+  for (int step = 0; step < config_.max_steps; ++step) {
+    // Apply the current operating state.
+    const thermosyphon::OperatingPoint op{
+        .water_flow_kg_h = config_.flow_steps_kg_h[flow_step],
+        .water_inlet_c = server_->operating_point().water_inlet_c};
+    server_->set_operating_point(op);
+
+    power::PackagePowerRequest req =
+        server_->profiler().request_for(bench, config, decision.idle_state);
+    req.active_cores = decision.cores;
+    const util::Grid2D<double> power_map = floorplan::rasterize_power(
+        server_->floorplan(), server_->power_model().unit_powers(req),
+        stack.grid, stack.die_offset_x, stack.die_offset_y);
+    thermal.set_power_map(power_map);
+
+    // Thermosyphon boundary from the latest evaporator heat estimate; a
+    // cold start uses the total power spread uniformly via the solver's
+    // idle-loop path (zero map -> stagnant-pool HTC), which self-corrects
+    // within a couple of periods.
+    const thermosyphon::ThermosyphonState syphon =
+        server_->thermosyphon_model().solve(evap_heat, op);
+    thermal::TopBoundary top;
+    top.htc_w_m2k = syphon.htc_map;
+    top.fluid_temp_c = syphon.fluid_temp_map;
+    thermal.set_top_boundary(std::move(top));
+
+    thermal.step_transient(t, config_.control_period_s);
+    evap_heat = thermal.top_heat_flow_map_w(t);
+    for (double& q : evap_heat.data()) {
+      if (q < 0.0) q = 0.0;
+    }
+
+    // Measure.
+    const util::Grid2D<double> ihs = thermal.layer_field(t, stack.ihs_layer);
+    const util::Grid2D<double> die = thermal.layer_field(t, stack.die_layer);
+    ControlRecord record;
+    record.time_s = (step + 1) * config_.control_period_s;
+    record.tcase_c =
+        thermal::case_temperature(ihs, stack.grid, package_region);
+    record.die_max_c =
+        thermal::compute_metrics(die, stack.grid, stack.die_region).max_c;
+    record.freq_ghz = config.freq_ghz;
+    record.flow_kg_h = config_.flow_steps_kg_h[flow_step];
+
+    // React (§VII): on emergency, DVFS down when the QoS allows it,
+    // otherwise open the valve; throttle as a last resort.
+    if (record.tcase_c >= config_.tcase_limit_c) {
+      trace.emergency_seen = true;
+      const auto& levels = power::core_frequency_levels();
+      const auto it = std::find(levels.begin(), levels.end(), config.freq_ghz);
+      const bool can_lower = it != levels.begin();
+      const double next_f = can_lower ? *(it - 1) : config.freq_ghz;
+      if (can_lower && lower_freq_ok(next_f)) {
+        config.freq_ghz = next_f;
+        record.action = ControlAction::kLowerFrequency;
+      } else if (flow_step + 1 < config_.flow_steps_kg_h.size()) {
+        ++flow_step;
+        record.action = ControlAction::kRaiseFlow;
+      } else if (can_lower) {
+        config.freq_ghz = levels.front();
+        record.action = ControlAction::kThrottle;
+        trace.qos_violated = true;
+      }
+    }
+    trace.records.push_back(record);
+  }
+  return trace;
+}
+
+}  // namespace tpcool::core

@@ -1,0 +1,53 @@
+#pragma once
+/// \file scheduler.hpp
+/// \brief Algorithm 1 end to end: QoS-aware configuration selection,
+///        C-state choice, and thermal-aware thread mapping.
+
+#include <memory>
+
+#include "tpcool/core/server.hpp"
+#include "tpcool/mapping/config_select.hpp"
+#include "tpcool/mapping/policy.hpp"
+
+namespace tpcool::core {
+
+/// Outcome of the scheduling pipeline for one application.
+struct ScheduleDecision {
+  workload::ConfigPoint point;      ///< Selected configuration + profile row.
+  std::vector<int> cores;           ///< Physical core placement.
+  power::CState idle_state = power::CState::kPoll;
+};
+
+/// How the configuration is selected.
+enum class SelectionStrategy {
+  kAlgorithm1,  ///< Paper: minimum power meeting the QoS.
+  kPackAndCap,  ///< Baseline [27]: thread packing under a power cap.
+};
+
+/// Scheduler bound to a server and a mapping policy. The policy and server
+/// must outlive the scheduler.
+class Scheduler {
+ public:
+  Scheduler(ServerModel& server, const mapping::MappingPolicy& policy,
+            SelectionStrategy strategy, bool manage_cstates);
+
+  /// Decide (configuration, C-state, placement) for a benchmark under a QoS
+  /// requirement.  When C-state management is off (state-of-the-art
+  /// pipelines) idle cores stay in POLL.
+  [[nodiscard]] ScheduleDecision schedule(
+      const workload::BenchmarkProfile& bench,
+      const workload::QoSRequirement& qos) const;
+
+  /// Schedule and run the coupled thermal simulation.
+  [[nodiscard]] SimulationResult run(const workload::BenchmarkProfile& bench,
+                                     const workload::QoSRequirement& qos,
+                                     ScheduleDecision* decision_out = nullptr);
+
+ private:
+  ServerModel* server_;
+  const mapping::MappingPolicy* policy_;
+  SelectionStrategy strategy_;
+  bool manage_cstates_;
+};
+
+}  // namespace tpcool::core

@@ -1,0 +1,152 @@
+#include "tpcool/core/server.hpp"
+
+#include <cmath>
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::core {
+
+namespace {
+
+/// Initial evaporator heat-map guess: the total power spread uniformly over
+/// the footprint cells. The fixed point replaces it within one iteration.
+util::Grid2D<double> uniform_footprint_heat(const thermal::StackModel& stack,
+                                            double total_w) {
+  util::Grid2D<double> heat(stack.grid.nx, stack.grid.ny, 0.0);
+  std::size_t cells = 0;
+  for (std::size_t iy = 0; iy < stack.grid.ny; ++iy) {
+    for (std::size_t ix = 0; ix < stack.grid.nx; ++ix) {
+      const floorplan::Rect cell = stack.grid.cell_rect(ix, iy);
+      if (stack.evaporator_region.contains(cell.center_x(), cell.center_y()))
+        ++cells;
+    }
+  }
+  TPCOOL_ENSURE(cells > 0, "evaporator footprint covers no cells");
+  const double per_cell = total_w / static_cast<double>(cells);
+  for (std::size_t iy = 0; iy < stack.grid.ny; ++iy) {
+    for (std::size_t ix = 0; ix < stack.grid.nx; ++ix) {
+      const floorplan::Rect cell = stack.grid.cell_rect(ix, iy);
+      if (stack.evaporator_region.contains(cell.center_x(), cell.center_y()))
+        heat(ix, iy) = per_cell;
+    }
+  }
+  return heat;
+}
+
+}  // namespace
+
+ServerModel::ServerModel(ServerConfig config)
+    : config_(std::move(config)),
+      floorplan_(floorplan::make_xeon_e5_floorplan(config_.stack.geometry)),
+      power_model_(floorplan_),
+      profiler_(power_model_),
+      thermal_(thermal::make_package_stack(config_.stack)),
+      syphon_(config_.design, thermal_.stack().grid,
+              thermal_.stack().evaporator_region) {
+  TPCOOL_REQUIRE(config_.coupling_iterations >= 1,
+                 "need at least one coupling iteration");
+  thermal_.set_bottom_boundary(config_.board_htc_w_m2k,
+                               config_.board_ambient_c);
+}
+
+void ServerModel::set_operating_point(const thermosyphon::OperatingPoint& op) {
+  TPCOOL_REQUIRE(op.water_flow_kg_h > 0.0, "water flow must be positive");
+  config_.operating_point = op;
+}
+
+SimulationResult ServerModel::simulate(
+    const workload::BenchmarkProfile& bench,
+    const workload::Configuration& config_pt,
+    const std::vector<int>& active_cores, power::CState idle_state) {
+  TPCOOL_REQUIRE(static_cast<int>(active_cores.size()) == config_pt.cores,
+                 "mapping size does not match the configuration core count");
+  power::PackagePowerRequest req =
+      profiler_.request_for(bench, config_pt, idle_state);
+  req.active_cores = active_cores;
+  SimulationResult result = coupled_solve(power_model_.unit_powers(req));
+  result.power = power_model_.breakdown(req);
+  result.active_cores = active_cores;
+  return result;
+}
+
+SimulationResult ServerModel::simulate_powers(
+    const floorplan::UnitPowers& powers) {
+  return coupled_solve(powers);
+}
+
+SimulationResult ServerModel::coupled_solve(
+    const floorplan::UnitPowers& powers) {
+  const thermal::StackModel& stack = thermal_.stack();
+
+  const util::Grid2D<double> power_map = floorplan::rasterize_power(
+      floorplan_, powers, stack.grid, stack.die_offset_x, stack.die_offset_y);
+  thermal_.set_power_map(power_map);
+  const double total_w = floorplan::total_power(powers);
+
+  util::Grid2D<double> evap_heat = uniform_footprint_heat(stack, total_w);
+  std::vector<double> t;  // reused as a warm start across iterations
+  thermosyphon::ThermosyphonState syphon_state;
+
+  for (int it = 0; it < config_.coupling_iterations; ++it) {
+    syphon_state = syphon_.solve(evap_heat, config_.operating_point);
+    thermal::TopBoundary top;
+    top.htc_w_m2k = syphon_state.htc_map;
+    top.fluid_temp_c = syphon_state.fluid_temp_map;
+    thermal_.set_top_boundary(std::move(top));
+    t = thermal_.solve_steady(t);
+
+    // Feed back the actual per-cell evaporator heat (clamp the handful of
+    // fringe cells that can run slightly negative at low loads).
+    evap_heat = thermal_.top_heat_flow_map_w(t);
+    for (double& q : evap_heat.data()) {
+      if (q < 0.0) q = 0.0;
+    }
+  }
+
+  SimulationResult result;
+  result.syphon = std::move(syphon_state);
+  result.total_power_w = total_w;
+  result.die_field_c = thermal_.layer_field(t, stack.die_layer);
+  result.package_field_c = thermal_.layer_field(t, stack.ihs_layer);
+  result.die = thermal::compute_metrics(result.die_field_c, stack.grid,
+                                        stack.die_region);
+  const floorplan::Rect package_region{0.0, 0.0, stack.grid.width(),
+                                       stack.grid.height()};
+  result.package = thermal::compute_metrics(result.package_field_c,
+                                            stack.grid, package_region);
+  result.tcase_c = thermal::case_temperature(result.package_field_c,
+                                             stack.grid, package_region);
+  return result;
+}
+
+thermosyphon::EvaporatorGeometry default_evaporator_geometry(
+    thermosyphon::Orientation orientation) {
+  const thermal::PackageStackConfig stack{};
+  thermosyphon::EvaporatorGeometry evaporator;
+  evaporator.footprint_width_m = stack.evaporator_width_m;
+  evaporator.footprint_height_m = stack.evaporator_height_m;
+  evaporator.orientation = orientation;
+  return evaporator;
+}
+
+ServerModel make_proposed_server() {
+  ServerConfig config;
+  config.design.evaporator =
+      default_evaporator_geometry(thermosyphon::Orientation::kEastWest);
+  config.design.refrigerant = &materials::r236fa();
+  config.design.filling_ratio = 0.55;
+  config.operating_point = {.water_flow_kg_h = 7.0, .water_inlet_c = 30.0};
+  return ServerModel(std::move(config));
+}
+
+ServerModel make_soa_server() {
+  ServerConfig config;
+  config.design.evaporator =
+      default_evaporator_geometry(thermosyphon::Orientation::kNorthSouth);
+  config.design.refrigerant = &materials::r236fa();
+  config.design.filling_ratio = 0.50;
+  config.operating_point = {.water_flow_kg_h = 7.0, .water_inlet_c = 30.0};
+  return ServerModel(std::move(config));
+}
+
+}  // namespace tpcool::core

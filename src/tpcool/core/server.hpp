@@ -1,0 +1,120 @@
+#pragma once
+/// \file server.hpp
+/// \brief The complete server model: Xeon E5 floorplan + package power model
+///        + 3D thermal grid + two-phase thermosyphon, with the coupled
+///        steady-state solve used by every experiment.
+
+#include <memory>
+#include <vector>
+
+#include "tpcool/floorplan/xeon_e5.hpp"
+#include "tpcool/power/package_power.hpp"
+#include "tpcool/thermal/grid.hpp"
+#include "tpcool/thermal/metrics.hpp"
+#include "tpcool/thermosyphon/thermosyphon.hpp"
+#include "tpcool/workload/profiler.hpp"
+
+namespace tpcool::core {
+
+/// Server construction parameters.
+struct ServerConfig {
+  thermal::PackageStackConfig stack;            ///< Package + grid geometry.
+  thermosyphon::ThermosyphonDesign design;      ///< Cooling-device design.
+  thermosyphon::OperatingPoint operating_point; ///< Water valve + setpoint.
+  double board_htc_w_m2k = 10.0;   ///< Weak secondary path to the board.
+  double board_ambient_c = 40.0;   ///< In-chassis air temperature.
+  int coupling_iterations = 4;     ///< Thermosyphon<->thermal fixed point.
+};
+
+/// Result of one coupled steady-state simulation.
+struct SimulationResult {
+  thermal::ThermalMetrics die;        ///< Metrics over the die region.
+  thermal::ThermalMetrics package;    ///< Metrics over the IHS (package top).
+  double tcase_c = 0.0;               ///< Centre-of-spreader temperature.
+  double total_power_w = 0.0;
+  power::PackagePowerBreakdown power;
+  thermosyphon::ThermosyphonState syphon;
+  util::Grid2D<double> die_field_c;       ///< Die-layer temperature map.
+  util::Grid2D<double> package_field_c;   ///< IHS-layer temperature map.
+  std::vector<int> active_cores;
+};
+
+/// A server with a thermosyphon on its package.
+///
+/// The model owns all substrate objects; `simulate()` runs the coupled
+/// fixed point: power map -> thermosyphon HTC map -> thermal solve ->
+/// evaporator heat map -> thermosyphon ... until the boundary stabilizes.
+class ServerModel {
+ public:
+  explicit ServerModel(ServerConfig config);
+
+  [[nodiscard]] const floorplan::Floorplan& floorplan() const {
+    return floorplan_;
+  }
+  [[nodiscard]] const power::PackagePowerModel& power_model() const {
+    return power_model_;
+  }
+  [[nodiscard]] const workload::Profiler& profiler() const {
+    return profiler_;
+  }
+  [[nodiscard]] const thermosyphon::ThermosyphonDesign& design() const {
+    return config_.design;
+  }
+  [[nodiscard]] const thermosyphon::OperatingPoint& operating_point() const {
+    return config_.operating_point;
+  }
+  [[nodiscard]] const thermal::StackModel& stack() const {
+    return thermal_.stack();
+  }
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+
+  /// Change the runtime-adjustable coolant parameters (§VI-C).
+  void set_operating_point(const thermosyphon::OperatingPoint& op);
+
+  /// Run the coupled steady solve for a benchmark in a configuration mapped
+  /// onto `active_cores` (ids from a MappingPolicy), idle cores at
+  /// `idle_state`.
+  [[nodiscard]] SimulationResult simulate(
+      const workload::BenchmarkProfile& bench,
+      const workload::Configuration& config_pt,
+      const std::vector<int>& active_cores, power::CState idle_state);
+
+  /// Coupled solve for an explicit per-unit power assignment (used by the
+  /// motivation experiments and tests).
+  [[nodiscard]] SimulationResult simulate_powers(
+      const floorplan::UnitPowers& powers);
+
+  /// Access to the thermal model (e.g. for transient stepping).
+  [[nodiscard]] thermal::ThermalModel& thermal() { return thermal_; }
+  [[nodiscard]] const thermal::ThermalModel& thermal() const {
+    return thermal_;
+  }
+  [[nodiscard]] const thermosyphon::Thermosyphon& thermosyphon_model() const {
+    return syphon_;
+  }
+
+ private:
+  [[nodiscard]] SimulationResult coupled_solve(
+      const floorplan::UnitPowers& powers);
+
+  ServerConfig config_;
+  floorplan::Floorplan floorplan_;
+  power::PackagePowerModel power_model_;
+  workload::Profiler profiler_;
+  thermal::ThermalModel thermal_;
+  thermosyphon::Thermosyphon syphon_;
+};
+
+/// Factory: the paper's proposed, workload-aware design (§VI): east-west
+/// channels, R236fa at 55 % fill, 7 kg/h of 30 °C water.
+[[nodiscard]] ServerModel make_proposed_server();
+
+/// Factory: the state-of-the-art design of [8], which assumed a uniform heat
+/// flux: north-south channels, R236fa at 50 % fill, same water loop.
+[[nodiscard]] ServerModel make_soa_server();
+
+/// Default evaporator geometry matched to the default stack config.
+[[nodiscard]] thermosyphon::EvaporatorGeometry default_evaporator_geometry(
+    thermosyphon::Orientation orientation);
+
+}  // namespace tpcool::core

@@ -1,0 +1,87 @@
+#include "tpcool/core/trace_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::core {
+
+TraceRunner::TraceRunner(ServerModel& server, Scheduler& scheduler,
+                         Config config)
+    : server_(&server), scheduler_(&scheduler), config_(config) {
+  TPCOOL_REQUIRE(config_.control_period_s > 0.0,
+                 "control period must be positive");
+}
+
+TraceResult TraceRunner::run(const workload::WorkloadTrace& trace) {
+  thermal::ThermalModel& thermal = server_->thermal();
+  const thermal::StackModel& stack = thermal.stack();
+  const floorplan::Rect package_region{0.0, 0.0, stack.grid.width(),
+                                       stack.grid.height()};
+
+  TraceResult result;
+  std::vector<double> t(thermal.cell_count(), config_.start_temperature_c);
+  util::Grid2D<double> evap_heat(stack.grid.nx, stack.grid.ny, 0.0);
+
+  for (std::size_t phase_idx = 0; phase_idx < trace.phase_count();
+       ++phase_idx) {
+    const workload::TracePhase& phase = trace.phases()[phase_idx];
+    const workload::BenchmarkProfile& bench =
+        workload::find_benchmark(phase.benchmark);
+
+    PhaseRecord record;
+    record.phase_index = phase_idx;
+    record.benchmark = phase.benchmark;
+    record.qos_factor = phase.qos.factor;
+    record.decision = scheduler_->schedule(bench, phase.qos);
+
+    // Apply the phase's power map once; it is constant within the phase.
+    power::PackagePowerRequest req = server_->profiler().request_for(
+        bench, record.decision.point.config, record.decision.idle_state);
+    req.active_cores = record.decision.cores;
+    const double phase_power =
+        server_->power_model().breakdown(req).total_w();
+    thermal.set_power_map(floorplan::rasterize_power(
+        server_->floorplan(), server_->power_model().unit_powers(req),
+        stack.grid, stack.die_offset_x, stack.die_offset_y));
+
+    const int steps = std::max(
+        1, static_cast<int>(std::ceil(phase.duration_s /
+                                      config_.control_period_s)));
+    for (int step = 0; step < steps; ++step) {
+      const thermosyphon::ThermosyphonState syphon =
+          server_->thermosyphon_model().solve(evap_heat,
+                                              server_->operating_point());
+      thermal::TopBoundary top;
+      top.htc_w_m2k = syphon.htc_map;
+      top.fluid_temp_c = syphon.fluid_temp_map;
+      thermal.set_top_boundary(std::move(top));
+      thermal.step_transient(t, config_.control_period_s);
+      evap_heat = thermal.top_heat_flow_map_w(t);
+      for (double& q : evap_heat.data()) {
+        if (q < 0.0) q = 0.0;
+      }
+
+      const util::Grid2D<double> ihs = thermal.layer_field(t, stack.ihs_layer);
+      const util::Grid2D<double> die = thermal.layer_field(t, stack.die_layer);
+      const double tcase =
+          thermal::case_temperature(ihs, stack.grid, package_region);
+      record.peak_tcase_c = std::max(record.peak_tcase_c, tcase);
+      record.peak_die_c = std::max(
+          record.peak_die_c,
+          thermal::compute_metrics(die, stack.grid, stack.die_region).max_c);
+      record.end_tcase_c = tcase;
+      if (tcase > config_.tcase_limit_c) result.tcase_limit_exceeded = true;
+    }
+    record.avg_power_w = phase_power;
+    record.energy_j = phase_power * phase.duration_s;
+
+    result.peak_tcase_c = std::max(result.peak_tcase_c, record.peak_tcase_c);
+    result.total_energy_j += record.energy_j;
+    result.phases.push_back(std::move(record));
+  }
+  return result;
+}
+
+}  // namespace tpcool::core

@@ -1,0 +1,57 @@
+#pragma once
+/// \file trace_runner.hpp
+/// \brief Trace-driven transient simulation: play a workload phase trace
+///        through the scheduler and the transient thermal model, carrying
+///        the package temperature state across phase switches (the thermal
+///        history a real server accumulates).
+
+#include <vector>
+
+#include "tpcool/core/scheduler.hpp"
+#include "tpcool/workload/trace.hpp"
+
+namespace tpcool::core {
+
+/// Outcome of one trace phase.
+struct PhaseRecord {
+  std::size_t phase_index = 0;
+  std::string benchmark;
+  double qos_factor = 1.0;
+  ScheduleDecision decision;
+  double peak_tcase_c = 0.0;   ///< Over the phase.
+  double peak_die_c = 0.0;
+  double end_tcase_c = 0.0;    ///< At the phase boundary.
+  double avg_power_w = 0.0;
+  double energy_j = 0.0;       ///< Package energy over the phase.
+};
+
+/// Full trace outcome.
+struct TraceResult {
+  std::vector<PhaseRecord> phases;
+  double peak_tcase_c = 0.0;
+  double total_energy_j = 0.0;
+  bool tcase_limit_exceeded = false;
+};
+
+/// Plays traces on a server via a scheduler.
+class TraceRunner {
+ public:
+  struct Config {
+    double control_period_s = 0.5;
+    double tcase_limit_c = 85.0;
+    double start_temperature_c = 35.0;
+  };
+
+  TraceRunner(ServerModel& server, Scheduler& scheduler, Config config);
+  TraceRunner(ServerModel& server, Scheduler& scheduler)
+      : TraceRunner(server, scheduler, Config{}) {}
+
+  [[nodiscard]] TraceResult run(const workload::WorkloadTrace& trace);
+
+ private:
+  ServerModel* server_;
+  Scheduler* scheduler_;
+  Config config_;
+};
+
+}  // namespace tpcool::core

@@ -1,0 +1,63 @@
+#include "tpcool/floorplan/power_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::floorplan {
+
+util::Grid2D<double> rasterize_power(const Floorplan& floorplan,
+                                     const UnitPowers& powers,
+                                     const GridSpec& grid, double die_offset_x,
+                                     double die_offset_y) {
+  TPCOOL_REQUIRE(grid.nx > 0 && grid.ny > 0, "grid must be non-empty");
+  TPCOOL_REQUIRE(grid.dx > 0 && grid.dy > 0, "grid pitch must be positive");
+  util::Grid2D<double> out(grid.nx, grid.ny, 0.0);
+
+  for (const auto& [name, watts] : powers) {
+    if (watts == 0.0) continue;
+    TPCOOL_REQUIRE(watts >= 0.0, "negative power for unit '" + name + "'");
+    const Unit& unit = floorplan.unit(name);
+    const Rect r = unit.rect.translated(die_offset_x, die_offset_y);
+
+    // Index range of cells potentially overlapped by the unit.
+    const auto clamp_idx = [](double v, std::size_t n) {
+      if (v < 0.0) return std::size_t{0};
+      const auto i = static_cast<std::size_t>(v);
+      return std::min(i, n == 0 ? std::size_t{0} : n - 1);
+    };
+    const std::size_t ix0 = clamp_idx(std::floor((r.x0 - grid.x0) / grid.dx), grid.nx);
+    const std::size_t ix1 = clamp_idx(std::ceil((r.x1 - grid.x0) / grid.dx), grid.nx);
+    const std::size_t iy0 = clamp_idx(std::floor((r.y0 - grid.y0) / grid.dy), grid.ny);
+    const std::size_t iy1 = clamp_idx(std::ceil((r.y1 - grid.y0) / grid.dy), grid.ny);
+
+    const double unit_area = r.area();
+    TPCOOL_ENSURE(unit_area > 0.0, "unit with zero area");
+    double assigned = 0.0;
+    for (std::size_t iy = iy0; iy <= iy1; ++iy) {
+      for (std::size_t ix = ix0; ix <= ix1; ++ix) {
+        const double overlap = r.overlap_area(grid.cell_rect(ix, iy));
+        if (overlap <= 0.0) continue;
+        const double share = watts * overlap / unit_area;
+        out(ix, iy) += share;
+        assigned += share;
+      }
+    }
+    TPCOOL_ENSURE(assigned <= watts * (1.0 + 1e-9),
+                  "rasterization over-assigned power");
+    // `assigned < watts` only if the unit sticks out of the grid; the server
+    // builder guarantees the die is inside, so enforce conservation here.
+    TPCOOL_ENSURE(assigned >= watts * (1.0 - 1e-9),
+                  "unit '" + name + "' extends beyond the thermal grid");
+  }
+  return out;
+}
+
+double total_power(const UnitPowers& powers) {
+  double total = 0.0;
+  for (const auto& [name, watts] : powers) total += watts;
+  return total;
+}
+
+}  // namespace tpcool::floorplan

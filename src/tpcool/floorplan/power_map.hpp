@@ -1,0 +1,49 @@
+#pragma once
+/// \file power_map.hpp
+/// \brief Rasterization of per-unit powers onto a regular 2D grid
+///        (the thermal solver's source layer).
+
+#include <map>
+#include <string>
+
+#include "tpcool/floorplan/floorplan.hpp"
+#include "tpcool/util/grid2d.hpp"
+
+namespace tpcool::floorplan {
+
+/// Regular 2D grid specification in package coordinates [m].
+struct GridSpec {
+  double x0 = 0.0;  ///< South-west corner of the grid.
+  double y0 = 0.0;
+  double dx = 1e-3; ///< Cell pitch.
+  double dy = 1e-3;
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+
+  [[nodiscard]] double width() const { return dx * static_cast<double>(nx); }
+  [[nodiscard]] double height() const { return dy * static_cast<double>(ny); }
+  [[nodiscard]] double cell_area() const { return dx * dy; }
+  [[nodiscard]] Rect cell_rect(std::size_t ix, std::size_t iy) const {
+    const double cx0 = x0 + static_cast<double>(ix) * dx;
+    const double cy0 = y0 + static_cast<double>(iy) * dy;
+    return Rect{cx0, cy0, cx0 + dx, cy0 + dy};
+  }
+};
+
+/// Per-unit power assignment [W], keyed by unit name. Units without an entry
+/// dissipate zero.
+using UnitPowers = std::map<std::string, double>;
+
+/// Rasterize unit powers onto the grid: each unit's power is distributed over
+/// the cells it overlaps, proportionally to the overlap area (power per cell
+/// in watts, not a density).  `die_offset_*` translates the floorplan into
+/// package coordinates (the die is centred on the package).
+/// Total power is conserved exactly when the die lies inside the grid.
+[[nodiscard]] util::Grid2D<double> rasterize_power(
+    const Floorplan& floorplan, const UnitPowers& powers, const GridSpec& grid,
+    double die_offset_x, double die_offset_y);
+
+/// Sum of all unit powers [W].
+[[nodiscard]] double total_power(const UnitPowers& powers);
+
+}  // namespace tpcool::floorplan

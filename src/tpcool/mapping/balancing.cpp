@@ -1,0 +1,23 @@
+#include "tpcool/mapping/balancing.hpp"
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::mapping {
+
+std::vector<int> BalancingPolicy::select_cores(
+    const MappingContext& context) const {
+  const int rows = grid_rows(context);
+  const int cols = grid_columns(context);
+  TPCOOL_REQUIRE(rows == 4 && cols == 2,
+                 "the balancing order is defined for the 2x4 Broadwell grid");
+  // Corner-first maximal spread, independent of C-state and orientation.
+  const std::vector<int> order{
+      core_at(context, 0, 0), core_at(context, 3, 1),
+      core_at(context, 0, 1), core_at(context, 3, 0),
+      core_at(context, 1, 0), core_at(context, 2, 1),
+      core_at(context, 2, 0), core_at(context, 1, 1),
+  };
+  return take(order, context.cores_needed);
+}
+
+}  // namespace tpcool::mapping

@@ -1,0 +1,18 @@
+#pragma once
+/// \file balancing.hpp
+/// \brief Baseline: temperature-aware balancing of Coskun et al., DATE 2007
+///        (paper reference [9]) — spread the load, corners first, without
+///        any knowledge of the two-phase cooling behaviour or C-states.
+
+#include "tpcool/mapping/policy.hpp"
+
+namespace tpcool::mapping {
+
+class BalancingPolicy final : public MappingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "balancing[9]"; }
+  [[nodiscard]] std::vector<int> select_cores(
+      const MappingContext& context) const override;
+};
+
+}  // namespace tpcool::mapping

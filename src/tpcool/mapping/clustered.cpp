@@ -1,0 +1,22 @@
+#include "tpcool/mapping/clustered.hpp"
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::mapping {
+
+std::vector<int> ClusteredPolicy::select_cores(
+    const MappingContext& context) const {
+  const int rows = grid_rows(context);
+  const int cols = grid_columns(context);
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(rows) * cols);
+  // Row-major block fill from the north-west corner.
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      order.push_back(core_at(context, r, c));
+    }
+  }
+  return take(order, context.cores_needed);
+}
+
+}  // namespace tpcool::mapping

@@ -1,0 +1,18 @@
+#pragma once
+/// \file clustered.hpp
+/// \brief Baseline: naive clustered placement (a cache-affinity-style OS
+///        scheduler): fill physically adjacent cores from the top of the die
+///        (scenario 3 of Fig. 6 — the worst case for the thermosyphon).
+
+#include "tpcool/mapping/policy.hpp"
+
+namespace tpcool::mapping {
+
+class ClusteredPolicy final : public MappingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "clustered"; }
+  [[nodiscard]] std::vector<int> select_cores(
+      const MappingContext& context) const override;
+};
+
+}  // namespace tpcool::mapping

@@ -1,0 +1,55 @@
+#include "tpcool/mapping/config_select.hpp"
+
+#include <algorithm>
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::mapping {
+
+workload::ConfigPoint algorithm1_select(
+    const std::vector<workload::ConfigPoint>& profile,
+    const workload::QoSRequirement& qos) {
+  TPCOOL_REQUIRE(!profile.empty(), "empty configuration profile");
+  std::vector<workload::ConfigPoint> sorted = profile;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const workload::ConfigPoint& a, const workload::ConfigPoint& b) {
+              return a.power_w < b.power_w;
+            });
+  for (const workload::ConfigPoint& p : sorted) {
+    if (qos.satisfied_by(p.norm_time)) return p;
+  }
+  TPCOOL_REQUIRE(false, "no configuration satisfies the QoS requirement");
+  return sorted.front();  // unreachable
+}
+
+workload::ConfigPoint packcap_select(
+    const std::vector<workload::ConfigPoint>& profile,
+    const workload::QoSRequirement& qos, double power_cap_w) {
+  TPCOOL_REQUIRE(!profile.empty(), "empty configuration profile");
+  TPCOOL_REQUIRE(power_cap_w > 0.0, "power cap must be positive");
+  const workload::ConfigPoint* best = nullptr;
+  for (const workload::ConfigPoint& p : profile) {
+    if (!qos.satisfied_by(p.norm_time)) continue;
+    if (p.power_w > power_cap_w) continue;
+    if (best == nullptr) {
+      best = &p;
+      continue;
+    }
+    // Pack threads onto the fewest cores, then spend the cap headroom on
+    // frequency (Pack & Cap maximizes speed under the cap), then save power.
+    if (p.config.cores != best->config.cores) {
+      if (p.config.cores < best->config.cores) best = &p;
+      continue;
+    }
+    if (p.config.freq_ghz != best->config.freq_ghz) {
+      if (p.config.freq_ghz > best->config.freq_ghz) best = &p;
+      continue;
+    }
+    if (p.power_w < best->power_w) best = &p;
+  }
+  TPCOOL_REQUIRE(best != nullptr,
+                 "no configuration satisfies the QoS under the power cap");
+  return *best;
+}
+
+}  // namespace tpcool::mapping

@@ -1,0 +1,28 @@
+#pragma once
+/// \file config_select.hpp
+/// \brief Configuration selection: the paper's Algorithm 1 (minimum power
+///        meeting QoS) and the Pack & Cap baseline of Cochran et al.,
+///        MICRO 2011 (paper reference [27]).
+
+#include <vector>
+
+#include "tpcool/workload/profiler.hpp"
+
+namespace tpcool::mapping {
+
+/// Algorithm 1, lines 5–6: sort P ascending and return the first
+/// configuration whose QoS satisfies the requirement.
+/// Throws PreconditionError when no configuration meets the QoS.
+[[nodiscard]] workload::ConfigPoint algorithm1_select(
+    const std::vector<workload::ConfigPoint>& profile,
+    const workload::QoSRequirement& qos);
+
+/// Pack & Cap [27]: pack threads onto the fewest cores that still meet the
+/// QoS under the power cap, preferring (fewer cores, then lower power).
+/// Packing pushes towards high frequencies, which is why the state-of-the-art
+/// pipeline burns more power than Algorithm 1 at relaxed QoS (§VIII-B).
+[[nodiscard]] workload::ConfigPoint packcap_select(
+    const std::vector<workload::ConfigPoint>& profile,
+    const workload::QoSRequirement& qos, double power_cap_w = 85.0);
+
+}  // namespace tpcool::mapping

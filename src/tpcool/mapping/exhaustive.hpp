@@ -1,0 +1,48 @@
+#pragma once
+/// \file exhaustive.hpp
+/// \brief Oracle mapping: exhaustively evaluate every core subset of the
+///        requested size through a caller-provided thermal evaluator and
+///        return the coolest one. Exponential in core count (C(8,4) = 70),
+///        so this is an ablation/verification tool, not a runtime policy —
+///        it bounds how far the proposed heuristic is from optimal.
+
+#include <functional>
+
+#include "tpcool/mapping/policy.hpp"
+
+namespace tpcool::mapping {
+
+/// Thermal cost of a placement (lower is better) — typically the die θmax
+/// from a coupled server simulation.
+using PlacementEvaluator =
+    std::function<double(const std::vector<int>& cores)>;
+
+/// Exhaustive-search oracle. Stateless per call; the evaluator is invoked
+/// once per subset.
+class ExhaustivePolicy final : public MappingPolicy {
+ public:
+  explicit ExhaustivePolicy(PlacementEvaluator evaluator);
+
+  [[nodiscard]] std::string name() const override { return "oracle"; }
+  [[nodiscard]] std::vector<int> select_cores(
+      const MappingContext& context) const override;
+
+  /// Cost of the best placement found by the last select_cores() call.
+  [[nodiscard]] double best_cost() const noexcept { return best_cost_; }
+
+  /// Number of subsets evaluated by the last call.
+  [[nodiscard]] std::size_t evaluations() const noexcept {
+    return evaluations_;
+  }
+
+ private:
+  PlacementEvaluator evaluator_;
+  mutable double best_cost_ = 0.0;
+  mutable std::size_t evaluations_ = 0;
+};
+
+/// Enumerate all size-k subsets of the core ids (sorted ids, lexicographic).
+[[nodiscard]] std::vector<std::vector<int>> core_subsets(
+    const floorplan::Floorplan& floorplan, int k);
+
+}  // namespace tpcool::mapping

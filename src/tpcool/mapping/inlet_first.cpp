@@ -1,0 +1,40 @@
+#include "tpcool/mapping/inlet_first.hpp"
+
+#include <algorithm>
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::mapping {
+
+std::vector<int> InletFirstPolicy::select_cores(
+    const MappingContext& context) const {
+  const auto& sites = checked_sites(context);
+
+  // Distance from the refrigerant inlet along the flow direction: design 1
+  // flows eastward from a west inlet, design 2 southward from a north inlet.
+  const auto inlet_distance = [&](const floorplan::CoreSite& site) {
+    if (context.orientation == thermosyphon::Orientation::kEastWest) {
+      return site.rect.center_x();
+    }
+    return -site.rect.center_y();  // north inlet: larger y = closer
+  };
+
+  std::vector<const floorplan::CoreSite*> ordered;
+  ordered.reserve(sites.size());
+  for (const floorplan::CoreSite& s : sites) ordered.push_back(&s);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [&](const floorplan::CoreSite* a,
+                       const floorplan::CoreSite* b) {
+                     const double da = inlet_distance(*a);
+                     const double db = inlet_distance(*b);
+                     if (da != db) return da < db;
+                     return a->core_id < b->core_id;
+                   });
+
+  std::vector<int> order;
+  order.reserve(ordered.size());
+  for (const floorplan::CoreSite* s : ordered) order.push_back(s->core_id);
+  return take(order, context.cores_needed);
+}
+
+}  // namespace tpcool::mapping

@@ -1,0 +1,19 @@
+#pragma once
+/// \file inlet_first.hpp
+/// \brief Baseline: inlet-first mapping of Sabry et al., TCAD 2011 (paper
+///        reference [7]) — designed for inter-layer liquid cooling, it packs
+///        the workload onto the cores closest to the coolant inlet.  The
+///        paper shows this is counter-productive for a thermosyphon (§VIII).
+
+#include "tpcool/mapping/policy.hpp"
+
+namespace tpcool::mapping {
+
+class InletFirstPolicy final : public MappingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "inlet-first[7]"; }
+  [[nodiscard]] std::vector<int> select_cores(
+      const MappingContext& context) const override;
+};
+
+}  // namespace tpcool::mapping

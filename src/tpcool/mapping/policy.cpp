@@ -1,0 +1,52 @@
+#include "tpcool/mapping/policy.hpp"
+
+#include <algorithm>
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::mapping {
+
+const std::vector<floorplan::CoreSite>& MappingPolicy::checked_sites(
+    const MappingContext& context) {
+  TPCOOL_REQUIRE(context.floorplan != nullptr, "context needs a floorplan");
+  const auto& sites = context.floorplan->cores();
+  TPCOOL_REQUIRE(!sites.empty(), "floorplan has no cores");
+  TPCOOL_REQUIRE(context.cores_needed >= 1 &&
+                     context.cores_needed <= static_cast<int>(sites.size()),
+                 "cores_needed out of range");
+  return sites;
+}
+
+int MappingPolicy::core_at(const MappingContext& context, int row,
+                           int column) {
+  for (const floorplan::CoreSite& site : checked_sites(context)) {
+    if (site.row == row && site.column == column) return site.core_id;
+  }
+  TPCOOL_REQUIRE(false, "no core at the requested grid position");
+  return 0;  // unreachable
+}
+
+int MappingPolicy::grid_rows(const MappingContext& context) {
+  int rows = 0;
+  for (const floorplan::CoreSite& site : checked_sites(context)) {
+    rows = std::max(rows, site.row + 1);
+  }
+  return rows;
+}
+
+int MappingPolicy::grid_columns(const MappingContext& context) {
+  int cols = 0;
+  for (const floorplan::CoreSite& site : checked_sites(context)) {
+    cols = std::max(cols, site.column + 1);
+  }
+  return cols;
+}
+
+std::vector<int> MappingPolicy::take(const std::vector<int>& order,
+                                     int count) {
+  TPCOOL_REQUIRE(count >= 1 && count <= static_cast<int>(order.size()),
+                 "not enough cores in the preference order");
+  return {order.begin(), order.begin() + count};
+}
+
+}  // namespace tpcool::mapping

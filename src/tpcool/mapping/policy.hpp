@@ -1,0 +1,54 @@
+#pragma once
+/// \file policy.hpp
+/// \brief Workload-mapping policy interface: decide which physical cores run
+///        the workload's threads, given the thermosyphon orientation and the
+///        C-state of the idle cores.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tpcool/floorplan/floorplan.hpp"
+#include "tpcool/power/cstates.hpp"
+#include "tpcool/thermosyphon/geometry.hpp"
+
+namespace tpcool::mapping {
+
+/// Everything a policy may consult when placing threads.
+struct MappingContext {
+  const floorplan::Floorplan* floorplan = nullptr;
+  thermosyphon::Orientation orientation = thermosyphon::Orientation::kEastWest;
+  power::CState idle_state = power::CState::kPoll;
+  int cores_needed = 1;
+};
+
+/// Abstract mapping policy.  Implementations are stateless and deterministic;
+/// `select_cores` returns `cores_needed` distinct 1-based core ids in
+/// placement order.
+class MappingPolicy {
+ public:
+  virtual ~MappingPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::vector<int> select_cores(
+      const MappingContext& context) const = 0;
+
+ protected:
+  /// Validate the context and pass back the core sites; shared by all
+  /// implementations.
+  static const std::vector<floorplan::CoreSite>& checked_sites(
+      const MappingContext& context);
+
+  /// Core id at a (row, column) position of the core grid; throws when the
+  /// position is not populated.
+  static int core_at(const MappingContext& context, int row, int column);
+
+  /// Number of rows/columns of the core grid.
+  static int grid_rows(const MappingContext& context);
+  static int grid_columns(const MappingContext& context);
+
+  /// Truncate an ordered preference list to the requested core count.
+  static std::vector<int> take(const std::vector<int>& order, int count);
+};
+
+}  // namespace tpcool::mapping

@@ -1,0 +1,51 @@
+#include "tpcool/mapping/proposed.hpp"
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::mapping {
+
+std::vector<int> ProposedPolicy::deep_sleep_order(
+    const MappingContext& context) {
+  const int rows = grid_rows(context);
+  const int cols = grid_columns(context);
+  TPCOOL_REQUIRE(rows == 4 && cols == 2,
+                 "the proposed order is defined for the 2x4 Broadwell grid");
+  // First pass: one core per channel row, maximal vertical spread,
+  // alternating columns (scenario 1 of Fig. 6). Second pass fills the
+  // remaining sites corners-first while keeping per-row counts minimal.
+  // With east-west channels a "row" of the core grid is a channel line; with
+  // north-south channels the roles of rows/columns swap, but the 2-column
+  // grid leaves no freedom transverse to the flow, so the same vertical
+  // spread remains the best choice.
+  return {
+      core_at(context, 0, 0), core_at(context, 3, 1),
+      core_at(context, 2, 0), core_at(context, 1, 1),
+      core_at(context, 0, 1), core_at(context, 3, 0),
+      core_at(context, 1, 0), core_at(context, 2, 1),
+  };
+}
+
+std::vector<int> ProposedPolicy::poll_order(const MappingContext& context) {
+  const int rows = grid_rows(context);
+  const int cols = grid_columns(context);
+  TPCOOL_REQUIRE(rows == 4 && cols == 2,
+                 "the proposed order is defined for the 2x4 Broadwell grid");
+  // Conventional thermal balancing: corners first (scenario 2 of Fig. 6),
+  // then the middle sites with maximal pairwise distance.
+  return {
+      core_at(context, 0, 0), core_at(context, 3, 1),
+      core_at(context, 0, 1), core_at(context, 3, 0),
+      core_at(context, 1, 0), core_at(context, 2, 1),
+      core_at(context, 2, 0), core_at(context, 1, 1),
+  };
+}
+
+std::vector<int> ProposedPolicy::select_cores(
+    const MappingContext& context) const {
+  const bool deep_idle = context.idle_state != power::CState::kPoll;
+  const std::vector<int> order =
+      deep_idle ? deep_sleep_order(context) : poll_order(context);
+  return take(order, context.cores_needed);
+}
+
+}  // namespace tpcool::mapping

@@ -1,0 +1,34 @@
+#pragma once
+/// \file proposed.hpp
+/// \brief The paper's thermal-aware mapping policy (§VII), tailored to the
+///        two-phase thermosyphon:
+///
+///  - idle cores in a *deep* C-state (C1 or deeper): the dominant effect is
+///    per-channel vapor-quality buildup, so place at most one active core on
+///    each horizontal (channel) line, alternating columns (Fig. 6
+///    scenario 1);
+///  - idle cores in POLL: idle static power is comparable to active dynamic
+///    power, so the conventional corner-first balancing wins (scenario 2);
+///  - more than ~5 cores: corners first, then fill while keeping the number
+///    of active cores per channel line minimal.
+
+#include "tpcool/mapping/policy.hpp"
+
+namespace tpcool::mapping {
+
+class ProposedPolicy final : public MappingPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "proposed"; }
+  [[nodiscard]] std::vector<int> select_cores(
+      const MappingContext& context) const override;
+
+  /// The channel-aware placement order used when idle cores sleep deeply.
+  [[nodiscard]] static std::vector<int> deep_sleep_order(
+      const MappingContext& context);
+
+  /// The corner-first balancing order used when idle cores stay in POLL.
+  [[nodiscard]] static std::vector<int> poll_order(
+      const MappingContext& context);
+};
+
+}  // namespace tpcool::mapping

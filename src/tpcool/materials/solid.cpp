@@ -1,0 +1,38 @@
+#include "tpcool/materials/solid.hpp"
+
+namespace tpcool::materials {
+
+const SolidMaterial& silicon() {
+  static const SolidMaterial m{"silicon", 130.0, 2330.0, 712.0};
+  return m;
+}
+
+const SolidMaterial& copper() {
+  static const SolidMaterial m{"copper", 390.0, 8960.0, 385.0};
+  return m;
+}
+
+const SolidMaterial& tim_high_performance() {
+  // Polymer TIM1 under the IHS (effective k including contact resistances).
+  static const SolidMaterial m{"tim1", 3.0, 2600.0, 900.0};
+  return m;
+}
+
+const SolidMaterial& tim_grease() {
+  static const SolidMaterial m{"tim2-grease", 6.0, 2500.0, 800.0};
+  return m;
+}
+
+const SolidMaterial& package_substrate() {
+  static const SolidMaterial m{"substrate", 15.0, 1900.0, 1100.0};
+  return m;
+}
+
+const SolidMaterial& gap_filler() {
+  // Effective property of the die-adjacent air/sealant region: keeps lateral
+  // heat from bypassing the die corner in the model, as in reality.
+  static const SolidMaterial m{"gap-filler", 0.6, 1200.0, 1000.0};
+  return m;
+}
+
+}  // namespace tpcool::materials

@@ -1,0 +1,45 @@
+#pragma once
+/// \file solid.hpp
+/// \brief Solid material properties for the package thermal stack.
+///
+/// Values are room-temperature bulk properties; the compact thermal model
+/// treats them as temperature-independent (the 25–90 °C range of interest
+/// changes silicon conductivity by <15 %, well inside the model's accuracy).
+
+#include <string>
+
+namespace tpcool::materials {
+
+/// Isotropic solid material.
+struct SolidMaterial {
+  std::string name;
+  double conductivity_w_mk = 0.0;    ///< Thermal conductivity k [W/(m·K)].
+  double density_kg_m3 = 0.0;        ///< Density ρ [kg/m³].
+  double specific_heat_j_kgk = 0.0;  ///< Specific heat c_p [J/(kg·K)].
+
+  /// Volumetric heat capacity ρ·c_p [J/(m³·K)].
+  [[nodiscard]] double volumetric_heat_capacity() const {
+    return density_kg_m3 * specific_heat_j_kgk;
+  }
+};
+
+/// Bulk silicon (die).
+[[nodiscard]] const SolidMaterial& silicon();
+
+/// Copper (integrated heat spreader, evaporator base).
+[[nodiscard]] const SolidMaterial& copper();
+
+/// High-performance thermal interface material (die–IHS, TIM1-class).
+[[nodiscard]] const SolidMaterial& tim_high_performance();
+
+/// Standard thermal grease (IHS–evaporator, TIM2-class).
+[[nodiscard]] const SolidMaterial& tim_grease();
+
+/// Organic package substrate (build-up laminate).
+[[nodiscard]] const SolidMaterial& package_substrate();
+
+/// Low-conductivity filler representing the air/underfill gap that surrounds
+/// the die underneath the heat spreader.
+[[nodiscard]] const SolidMaterial& gap_filler();
+
+}  // namespace tpcool::materials

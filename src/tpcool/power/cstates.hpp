@@ -1,0 +1,40 @@
+#pragma once
+/// \file cstates.hpp
+/// \brief Idle-state (C-state) power model of the Xeon E5 v4, calibrated to
+///        Table I of the paper (measurements for all 8 cores).
+///
+/// POLL is the default active-idle state (no wakeup latency); deeper states
+/// save power but add resume latency. The workload's tolerable delay decides
+/// the deepest usable state (paper §VII).
+
+#include <string>
+#include <vector>
+
+namespace tpcool::power {
+
+/// Idle states of the target processor. POLL/C1/C1E carry the paper's
+/// Table I numbers; C3/C6 extend the model with datasheet-consistent values
+/// for the deeper states the paper mentions but does not tabulate.
+enum class CState { kPoll, kC1, kC1E, kC3, kC6 };
+
+[[nodiscard]] const char* to_string(CState state);
+
+/// All modelled C-states, shallowest first.
+[[nodiscard]] const std::vector<CState>& all_cstates();
+
+/// Resume latency [µs] (Table I "Latency" column; µs per the datasheet).
+[[nodiscard]] double cstate_latency_us(CState state);
+
+/// Idle power of ALL 8 cores [W] at a core frequency [GHz]
+/// (Table I rows; linear interpolation between the three measured points;
+/// C1E and deeper are frequency-independent).
+[[nodiscard]] double cstate_power_all8_w(CState state, double freq_ghz);
+
+/// Idle power of one core [W] (Table I value / 8).
+[[nodiscard]] double cstate_power_per_core_w(CState state, double freq_ghz);
+
+/// Deepest state whose resume latency does not exceed the tolerable delay.
+/// Falls back to POLL when even C1's latency is too much.
+[[nodiscard]] CState deepest_cstate_within(double tolerable_latency_us);
+
+}  // namespace tpcool::power

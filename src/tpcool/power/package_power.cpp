@@ -1,0 +1,87 @@
+#include "tpcool/power/package_power.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::power {
+
+PackagePowerModel::PackagePowerModel(const floorplan::Floorplan& floorplan)
+    : floorplan_(&floorplan) {
+  TPCOOL_REQUIRE(floorplan.core_count() > 0, "floorplan has no cores");
+  TPCOOL_REQUIRE(floorplan.index_of("llc").has_value(),
+                 "floorplan needs an 'llc' unit");
+  TPCOOL_REQUIRE(floorplan.index_of("memctrl").has_value(),
+                 "floorplan needs a 'memctrl' unit");
+  TPCOOL_REQUIRE(floorplan.index_of("uncore_io").has_value(),
+                 "floorplan needs an 'uncore_io' unit");
+}
+
+void PackagePowerModel::validate(const PackagePowerRequest& request) const {
+  const int n = static_cast<int>(floorplan_->core_count());
+  TPCOOL_REQUIRE(!request.active_cores.empty(),
+                 "at least one core must be active");
+  TPCOOL_REQUIRE(static_cast<int>(request.active_cores.size()) <= n,
+                 "more active cores than the CPU has");
+  std::vector<int> sorted = request.active_cores;
+  std::sort(sorted.begin(), sorted.end());
+  TPCOOL_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                     sorted.end(),
+                 "duplicate active core id");
+  for (const int id : request.active_cores) {
+    TPCOOL_REQUIRE(id >= 1 && id <= n, "core id out of range");
+  }
+  TPCOOL_REQUIRE(is_supported_frequency(request.freq_ghz),
+                 "unsupported DVFS frequency");
+}
+
+PackagePowerBreakdown PackagePowerModel::breakdown(
+    const PackagePowerRequest& request) const {
+  validate(request);
+  PackagePowerBreakdown b;
+  const auto n_active = static_cast<double>(request.active_cores.size());
+  const double n_idle =
+      static_cast<double>(floorplan_->core_count()) - n_active;
+  b.active_cores_w =
+      n_active * active_core_power_w(request.c_eff_w_per_ghz_v2,
+                                     request.utilization, request.freq_ghz);
+  b.idle_cores_w =
+      n_idle * cstate_power_per_core_w(request.idle_state, request.freq_ghz);
+  const double f_unc = uncore_frequency_for_core_ghz(request.freq_ghz);
+  b.mcio_w = uncore_mcio_power_w(f_unc);
+  b.llc_w = llc_power_w(request.llc_activity);
+  return b;
+}
+
+floorplan::UnitPowers PackagePowerModel::unit_powers(
+    const PackagePowerRequest& request) const {
+  validate(request);
+  floorplan::UnitPowers powers;
+
+  const double p_active = active_core_power_w(
+      request.c_eff_w_per_ghz_v2, request.utilization, request.freq_ghz);
+  const double p_idle =
+      cstate_power_per_core_w(request.idle_state, request.freq_ghz);
+
+  const auto is_active = [&](int id) {
+    return std::find(request.active_cores.begin(), request.active_cores.end(),
+                     id) != request.active_cores.end();
+  };
+  for (const floorplan::CoreSite& site : floorplan_->cores()) {
+    powers["core" + std::to_string(site.core_id)] =
+        is_active(site.core_id) ? p_active : p_idle;
+  }
+
+  powers["llc"] = llc_power_w(request.llc_activity);
+
+  const double mcio =
+      uncore_mcio_power_w(uncore_frequency_for_core_ghz(request.freq_ghz));
+  const double a_mem = floorplan_->unit("memctrl").rect.area();
+  const double a_unc = floorplan_->unit("uncore_io").rect.area();
+  powers["memctrl"] = mcio * a_mem / (a_mem + a_unc);
+  powers["uncore_io"] = mcio * a_unc / (a_mem + a_unc);
+  return powers;
+}
+
+}  // namespace tpcool::power

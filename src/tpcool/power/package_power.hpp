@@ -1,0 +1,64 @@
+#pragma once
+/// \file package_power.hpp
+/// \brief Assemble the full package power (cores + uncore) and distribute it
+///        onto the floorplan's functional units.
+
+#include <vector>
+
+#include "tpcool/floorplan/power_map.hpp"
+#include "tpcool/power/core_power.hpp"
+#include "tpcool/power/cstates.hpp"
+#include "tpcool/power/uncore_power.hpp"
+
+namespace tpcool::power {
+
+/// One steady operating condition of the package.
+struct PackagePowerRequest {
+  std::vector<int> active_cores;     ///< 1-based core ids running threads.
+  double c_eff_w_per_ghz_v2 = 0.45;  ///< Benchmark switching capacitance.
+  double utilization = 1.0;          ///< Per-core utilization (SMT ≤ 2).
+  double freq_ghz = 3.2;             ///< Core DVFS level.
+  CState idle_state = CState::kPoll; ///< State of the non-active cores.
+  double llc_activity = 0.5;         ///< LLC activity factor in [0, 1].
+};
+
+/// Package power split by contributor [W].
+struct PackagePowerBreakdown {
+  double active_cores_w = 0.0;
+  double idle_cores_w = 0.0;
+  double mcio_w = 0.0;  ///< Memory controller + IO subsystem.
+  double llc_w = 0.0;
+
+  [[nodiscard]] double total_w() const {
+    return active_cores_w + idle_cores_w + mcio_w + llc_w;
+  }
+};
+
+/// Maps operating conditions to per-unit powers of a floorplan.
+/// The floorplan must outlive the model.
+class PackagePowerModel {
+ public:
+  explicit PackagePowerModel(const floorplan::Floorplan& floorplan);
+
+  [[nodiscard]] const floorplan::Floorplan& floorplan() const noexcept {
+    return *floorplan_;
+  }
+
+  /// Aggregate power breakdown for a request.
+  [[nodiscard]] PackagePowerBreakdown breakdown(
+      const PackagePowerRequest& request) const;
+
+  /// Per-unit power assignment:
+  ///  - each active core gets the active-core power,
+  ///  - each idle core gets its C-state share,
+  ///  - the LLC unit gets the LLC power,
+  ///  - MC/IO power is split between the memctrl and uncore strips by area.
+  [[nodiscard]] floorplan::UnitPowers unit_powers(
+      const PackagePowerRequest& request) const;
+
+ private:
+  void validate(const PackagePowerRequest& request) const;
+  const floorplan::Floorplan* floorplan_;
+};
+
+}  // namespace tpcool::power

@@ -1,0 +1,198 @@
+#include "tpcool/thermal/grid.hpp"
+
+#include <cmath>
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::thermal {
+
+ThermalModel::ThermalModel(StackModel stack) : stack_(std::move(stack)) {
+  TPCOOL_REQUIRE(stack_.layer_count() >= 2, "stack needs at least two layers");
+  for (const StackLayer& layer : stack_.layers) {
+    TPCOOL_REQUIRE(layer.thickness_m > 0.0, "layer thickness must be positive");
+    TPCOOL_REQUIRE(layer.conductivity_w_mk.nx() == stack_.grid.nx &&
+                       layer.conductivity_w_mk.ny() == stack_.grid.ny,
+                   "layer grid mismatch");
+  }
+  power_w_ = util::Grid2D<double>(nx(), ny(), 0.0);
+  top_.htc_w_m2k = util::Grid2D<double>(nx(), ny(), 0.0);
+  top_.fluid_temp_c = util::Grid2D<double>(nx(), ny(), 0.0);
+}
+
+void ThermalModel::set_power_map(const util::Grid2D<double>& watts) {
+  TPCOOL_REQUIRE(watts.nx() == nx() && watts.ny() == ny(),
+                 "power map grid mismatch");
+  for (const double w : watts.data()) {
+    TPCOOL_REQUIRE(w >= 0.0, "negative cell power");
+  }
+  power_w_ = watts;
+  // Sources only enter the RHS; the assembled operator stays valid.
+}
+
+void ThermalModel::set_top_boundary(TopBoundary boundary) {
+  TPCOOL_REQUIRE(boundary.htc_w_m2k.nx() == nx() &&
+                     boundary.htc_w_m2k.ny() == ny() &&
+                     boundary.fluid_temp_c.same_shape(boundary.htc_w_m2k),
+                 "top boundary grid mismatch");
+  for (const double h : boundary.htc_w_m2k.data()) {
+    TPCOOL_REQUIRE(h >= 0.0, "negative HTC");
+  }
+  top_ = std::move(boundary);
+  dirty_ = true;
+}
+
+void ThermalModel::set_top_boundary_uniform(double htc_w_m2k,
+                                            double fluid_temp_c) {
+  TopBoundary b;
+  b.htc_w_m2k = util::Grid2D<double>(nx(), ny(), htc_w_m2k);
+  b.fluid_temp_c = util::Grid2D<double>(nx(), ny(), fluid_temp_c);
+  set_top_boundary(std::move(b));
+}
+
+void ThermalModel::set_bottom_boundary(double htc_w_m2k, double ambient_c) {
+  TPCOOL_REQUIRE(htc_w_m2k >= 0.0, "negative HTC");
+  bottom_htc_w_m2k_ = htc_w_m2k;
+  bottom_ambient_c_ = ambient_c;
+  dirty_ = true;
+}
+
+void ThermalModel::assemble() const {
+  if (!dirty_) return;
+  const std::size_t n = cell_count();
+  util::SparseMatrix m(n);
+  boundary_rhs_.assign(n, 0.0);
+
+  const double dx = stack_.grid.dx;
+  const double dy = stack_.grid.dy;
+  const double cell_area = dx * dy;
+
+  const auto k_of = [&](std::size_t ix, std::size_t iy, std::size_t iz) {
+    return stack_.layers[iz].conductivity_w_mk(ix, iy);
+  };
+  const auto dz_of = [&](std::size_t iz) {
+    return stack_.layers[iz].thickness_m;
+  };
+
+  // Series conductance of two half-cells meeting at an interface
+  // (harmonic mean, the standard finite-volume interface treatment).
+  const auto series = [](double g1, double g2) {
+    TPCOOL_ENSURE(g1 > 0.0 && g2 > 0.0, "non-positive conductance");
+    return 1.0 / (1.0 / g1 + 1.0 / g2);
+  };
+
+  for (std::size_t iz = 0; iz < nz(); ++iz) {
+    const double dz = dz_of(iz);
+    for (std::size_t iy = 0; iy < ny(); ++iy) {
+      for (std::size_t ix = 0; ix < nx(); ++ix) {
+        const std::size_t self = cell_index(ix, iy, iz);
+        double diag = 0.0;
+
+        if (ix + 1 < nx()) {  // east neighbour
+          const double g =
+              series(k_of(ix, iy, iz) * (dy * dz) / (0.5 * dx),
+                     k_of(ix + 1, iy, iz) * (dy * dz) / (0.5 * dx));
+          const std::size_t other = cell_index(ix + 1, iy, iz);
+          m.add(self, other, -g);
+          m.add(other, self, -g);
+          m.add(other, other, g);
+          diag += g;
+        }
+        if (iy + 1 < ny()) {  // north neighbour
+          const double g =
+              series(k_of(ix, iy, iz) * (dx * dz) / (0.5 * dy),
+                     k_of(ix, iy + 1, iz) * (dx * dz) / (0.5 * dy));
+          const std::size_t other = cell_index(ix, iy + 1, iz);
+          m.add(self, other, -g);
+          m.add(other, self, -g);
+          m.add(other, other, g);
+          diag += g;
+        }
+        if (iz + 1 < nz()) {  // layer above
+          const double g =
+              series(k_of(ix, iy, iz) * cell_area / (0.5 * dz),
+                     k_of(ix, iy, iz + 1) * cell_area / (0.5 * dz_of(iz + 1)));
+          const std::size_t other = cell_index(ix, iy, iz + 1);
+          m.add(self, other, -g);
+          m.add(other, self, -g);
+          m.add(other, other, g);
+          diag += g;
+        }
+        if (iz + 1 == nz()) {  // top convective boundary
+          const double h = top_.htc_w_m2k(ix, iy);
+          if (h > 0.0) {
+            const double g = series(k_of(ix, iy, iz) * cell_area / (0.5 * dz),
+                                    h * cell_area);
+            diag += g;
+            boundary_rhs_[self] += g * top_.fluid_temp_c(ix, iy);
+          }
+        }
+        if (iz == 0 && bottom_htc_w_m2k_ > 0.0) {  // bottom boundary
+          const double g = series(k_of(ix, iy, iz) * cell_area / (0.5 * dz),
+                                  bottom_htc_w_m2k_ * cell_area);
+          diag += g;
+          boundary_rhs_[self] += g * bottom_ambient_c_;
+        }
+        if (diag > 0.0) m.add(self, self, diag);
+      }
+    }
+  }
+  m.finalize();
+  matrix_ = std::move(m);
+  dirty_ = false;
+}
+
+util::Grid2D<double> ThermalModel::layer_field(const std::vector<double>& t,
+                                               std::size_t layer) const {
+  TPCOOL_REQUIRE(layer < nz(), "layer index out of range");
+  TPCOOL_REQUIRE(t.size() == cell_count(), "state vector size mismatch");
+  util::Grid2D<double> field(nx(), ny());
+  for (std::size_t iy = 0; iy < ny(); ++iy) {
+    for (std::size_t ix = 0; ix < nx(); ++ix) {
+      field(ix, iy) = t[cell_index(ix, iy, layer)];
+    }
+  }
+  return field;
+}
+
+double ThermalModel::top_heat_flow_w(const std::vector<double>& t) const {
+  TPCOOL_REQUIRE(t.size() == cell_count(), "state vector size mismatch");
+  const double cell_area = stack_.grid.dx * stack_.grid.dy;
+  const std::size_t iz = nz() - 1;
+  const double dz = stack_.layers[iz].thickness_m;
+  double q = 0.0;
+  for (std::size_t iy = 0; iy < ny(); ++iy) {
+    for (std::size_t ix = 0; ix < nx(); ++ix) {
+      const double h = top_.htc_w_m2k(ix, iy);
+      if (h <= 0.0) continue;
+      const double k = stack_.layers[iz].conductivity_w_mk(ix, iy);
+      const double g =
+          1.0 / (0.5 * dz / (k * cell_area) + 1.0 / (h * cell_area));
+      q += g * (t[cell_index(ix, iy, iz)] - top_.fluid_temp_c(ix, iy));
+    }
+  }
+  return q;
+}
+
+util::Grid2D<double> ThermalModel::top_heat_flow_map_w(
+    const std::vector<double>& t) const {
+  TPCOOL_REQUIRE(t.size() == cell_count(), "state vector size mismatch");
+  const double cell_area = stack_.grid.dx * stack_.grid.dy;
+  const std::size_t iz = nz() - 1;
+  const double dz = stack_.layers[iz].thickness_m;
+  util::Grid2D<double> q(nx(), ny(), 0.0);
+  for (std::size_t iy = 0; iy < ny(); ++iy) {
+    for (std::size_t ix = 0; ix < nx(); ++ix) {
+      const double h = top_.htc_w_m2k(ix, iy);
+      if (h <= 0.0) continue;
+      const double k = stack_.layers[iz].conductivity_w_mk(ix, iy);
+      const double g =
+          1.0 / (0.5 * dz / (k * cell_area) + 1.0 / (h * cell_area));
+      q(ix, iy) = g * (t[cell_index(ix, iy, iz)] - top_.fluid_temp_c(ix, iy));
+    }
+  }
+  return q;
+}
+
+double ThermalModel::source_power_w() const { return util::grid_sum(power_w_); }
+
+}  // namespace tpcool::thermal

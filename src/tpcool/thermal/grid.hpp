@@ -1,0 +1,98 @@
+#pragma once
+/// \file grid.hpp
+/// \brief 3D finite-volume thermal model: conductance assembly and boundary
+///        conditions over a StackModel.
+///
+/// Discretization: one cell per (ix, iy, layer); 7-point stencil with
+/// harmonic-mean interface conductances (exactly the compact model family of
+/// 3D-ICE / HotSpot).  Temperatures are in °C (the system is linear, so the
+/// Kelvin offset cancels).
+
+#include <cstddef>
+#include <vector>
+
+#include "tpcool/thermal/stack.hpp"
+#include "tpcool/util/grid2d.hpp"
+#include "tpcool/util/linear_solver.hpp"
+
+namespace tpcool::thermal {
+
+/// Convective boundary on the top surface: per-cell heat-transfer coefficient
+/// and per-cell fluid temperature (the thermosyphon writes both).
+struct TopBoundary {
+  util::Grid2D<double> htc_w_m2k;   ///< h per cell; 0 = adiabatic cell.
+  util::Grid2D<double> fluid_temp_c;
+};
+
+/// Assembled finite-volume model. Construction discretizes geometry;
+/// boundary conditions and sources may be changed between solves.
+class ThermalModel {
+ public:
+  explicit ThermalModel(StackModel stack);
+
+  [[nodiscard]] const StackModel& stack() const noexcept { return stack_; }
+  [[nodiscard]] std::size_t nx() const noexcept { return stack_.grid.nx; }
+  [[nodiscard]] std::size_t ny() const noexcept { return stack_.grid.ny; }
+  [[nodiscard]] std::size_t nz() const noexcept { return stack_.layer_count(); }
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return nx() * ny() * nz();
+  }
+
+  [[nodiscard]] std::size_t cell_index(std::size_t ix, std::size_t iy,
+                                       std::size_t iz) const {
+    return (iz * ny() + iy) * nx() + ix;
+  }
+
+  /// Set the heat sources [W per cell] on the die layer.
+  void set_power_map(const util::Grid2D<double>& watts);
+
+  /// Convective top boundary (thermosyphon evaporator side).
+  void set_top_boundary(TopBoundary boundary);
+
+  /// Uniform convective top boundary helper.
+  void set_top_boundary_uniform(double htc_w_m2k, double fluid_temp_c);
+
+  /// Weak convection from the substrate bottom to board ambient.
+  void set_bottom_boundary(double htc_w_m2k, double ambient_c);
+
+  /// Solve steady state G·T = P; returns the temperature of every cell [°C].
+  /// `hint` (if non-empty) warm-starts the CG iteration.
+  [[nodiscard]] std::vector<double> solve_steady(
+      const std::vector<double>& hint = {}) const;
+
+  /// Advance one backward-Euler step of length `dt_s` from state `t`
+  /// (modified in place).
+  void step_transient(std::vector<double>& t, double dt_s) const;
+
+  /// Extract one layer of a solution as a 2D field [°C].
+  [[nodiscard]] util::Grid2D<double> layer_field(const std::vector<double>& t,
+                                                 std::size_t layer) const;
+
+  /// Total heat flowing out through the top boundary for a solution [W]
+  /// (energy-conservation checks).
+  [[nodiscard]] double top_heat_flow_w(const std::vector<double>& t) const;
+
+  /// Per-cell heat flow out through the top boundary [W per cell]; feeds the
+  /// thermosyphon channel model in the coupled fixed-point iteration.
+  [[nodiscard]] util::Grid2D<double> top_heat_flow_map_w(
+      const std::vector<double>& t) const;
+
+  /// Total source power [W].
+  [[nodiscard]] double source_power_w() const;
+
+ private:
+  void assemble() const;  // lazy; depends on boundary state
+
+  StackModel stack_;
+  util::Grid2D<double> power_w_;
+  TopBoundary top_;
+  double bottom_htc_w_m2k_ = 10.0;
+  double bottom_ambient_c_ = 40.0;
+
+  // Lazily assembled operator; mutable because assembly is a cache.
+  mutable bool dirty_ = true;
+  mutable util::SparseMatrix matrix_{1};
+  mutable std::vector<double> boundary_rhs_;  // G_b·T_fluid terms
+};
+
+}  // namespace tpcool::thermal

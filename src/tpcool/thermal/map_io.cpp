@@ -1,0 +1,88 @@
+#include "tpcool/thermal/map_io.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::thermal {
+
+void write_pgm(std::ostream& out, const util::Grid2D<double>& field,
+               double t_min, double t_max) {
+  TPCOOL_REQUIRE(t_max > t_min, "invalid PGM scale");
+  out << "P5\n" << field.nx() << ' ' << field.ny() << "\n255\n";
+  for (std::size_t iy = field.ny(); iy-- > 0;) {
+    for (std::size_t ix = 0; ix < field.nx(); ++ix) {
+      const double t = (field(ix, iy) - t_min) / (t_max - t_min);
+      const int v = static_cast<int>(255.0 * std::clamp(t, 0.0, 1.0));
+      out.put(static_cast<char>(v));
+    }
+  }
+}
+
+util::Grid2D<double> map_difference(const util::Grid2D<double>& a,
+                                    const util::Grid2D<double>& b) {
+  TPCOOL_REQUIRE(a.same_shape(b), "map shapes differ");
+  util::Grid2D<double> out(a.nx(), a.ny());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.data()[i] = a.data()[i] - b.data()[i];
+  }
+  return out;
+}
+
+std::vector<HotSpot> hotspot_census(const util::Grid2D<double>& field,
+                                    const floorplan::GridSpec& grid,
+                                    double threshold_c) {
+  TPCOOL_REQUIRE(field.nx() == grid.nx && field.ny() == grid.ny,
+                 "field/grid shape mismatch");
+  std::vector<HotSpot> spots;
+  util::Grid2D<int> visited(grid.nx, grid.ny, 0);
+
+  for (std::size_t sy = 0; sy < grid.ny; ++sy) {
+    for (std::size_t sx = 0; sx < grid.nx; ++sx) {
+      if (visited(sx, sy) != 0 || field(sx, sy) <= threshold_c) continue;
+      // Flood-fill this connected hot region (4-connectivity).
+      HotSpot spot;
+      double cx = 0.0, cy = 0.0;
+      std::queue<std::pair<std::size_t, std::size_t>> frontier;
+      frontier.emplace(sx, sy);
+      visited(sx, sy) = 1;
+      while (!frontier.empty()) {
+        const auto [ix, iy] = frontier.front();
+        frontier.pop();
+        const floorplan::Rect cell = grid.cell_rect(ix, iy);
+        spot.peak_c = std::max(spot.peak_c, field(ix, iy));
+        cx += cell.center_x();
+        cy += cell.center_y();
+        ++spot.cells;
+        const auto visit = [&](std::size_t nx, std::size_t ny) {
+          if (visited(nx, ny) == 0 && field(nx, ny) > threshold_c) {
+            visited(nx, ny) = 1;
+            frontier.emplace(nx, ny);
+          }
+        };
+        if (ix > 0) visit(ix - 1, iy);
+        if (ix + 1 < grid.nx) visit(ix + 1, iy);
+        if (iy > 0) visit(ix, iy - 1);
+        if (iy + 1 < grid.ny) visit(ix, iy + 1);
+      }
+      spot.centroid_x_m = cx / static_cast<double>(spot.cells);
+      spot.centroid_y_m = cy / static_cast<double>(spot.cells);
+      spots.push_back(spot);
+    }
+  }
+  std::sort(spots.begin(), spots.end(),
+            [](const HotSpot& a, const HotSpot& b) {
+              return a.peak_c > b.peak_c;
+            });
+  return spots;
+}
+
+std::vector<HotSpot> hotspot_census_relative(
+    const util::Grid2D<double>& field, const floorplan::GridSpec& grid,
+    double band_c) {
+  TPCOOL_REQUIRE(band_c > 0.0, "band must be positive");
+  return hotspot_census(field, grid, util::grid_max(field) - band_c);
+}
+
+}  // namespace tpcool::thermal

@@ -1,0 +1,45 @@
+#pragma once
+/// \file map_io.hpp
+/// \brief Thermal-map tooling: portable graymap (PGM) export for quick
+///        visual inspection, map differencing, and a connected-component
+///        hot-spot census (the paper counts "number and magnitude of hot
+///        spots", §V).
+
+#include <ostream>
+#include <vector>
+
+#include "tpcool/floorplan/power_map.hpp"
+#include "tpcool/util/grid2d.hpp"
+
+namespace tpcool::thermal {
+
+/// Write a temperature field as an 8-bit binary PGM (P5) image, mapping
+/// [t_min, t_max] onto [0, 255]; values outside clamp. North row first.
+void write_pgm(std::ostream& out, const util::Grid2D<double>& field,
+               double t_min, double t_max);
+
+/// Cell-wise difference a − b (same shape required).
+[[nodiscard]] util::Grid2D<double> map_difference(
+    const util::Grid2D<double>& a, const util::Grid2D<double>& b);
+
+/// One connected hot region of a thermal map.
+struct HotSpot {
+  double peak_c = 0.0;        ///< Hottest cell in the region.
+  double centroid_x_m = 0.0;  ///< Area centroid, grid coordinates.
+  double centroid_y_m = 0.0;
+  std::size_t cells = 0;      ///< Region size.
+};
+
+/// Census of connected regions hotter than `threshold_c` (4-connectivity),
+/// sorted hottest first. Implements the paper's "number and magnitude of
+/// hot spots" metric.
+[[nodiscard]] std::vector<HotSpot> hotspot_census(
+    const util::Grid2D<double>& field, const floorplan::GridSpec& grid,
+    double threshold_c);
+
+/// Convenience: regions within `band_c` of the field maximum.
+[[nodiscard]] std::vector<HotSpot> hotspot_census_relative(
+    const util::Grid2D<double>& field, const floorplan::GridSpec& grid,
+    double band_c = 3.0);
+
+}  // namespace tpcool::thermal

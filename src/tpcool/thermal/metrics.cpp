@@ -1,0 +1,90 @@
+#include "tpcool/thermal/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::thermal {
+
+ThermalMetrics compute_metrics(const util::Grid2D<double>& field,
+                               const floorplan::GridSpec& grid,
+                               const floorplan::Rect& region,
+                               double hotspot_band_c) {
+  TPCOOL_REQUIRE(field.nx() == grid.nx && field.ny() == grid.ny,
+                 "field/grid shape mismatch");
+  TPCOOL_REQUIRE(region.valid(), "invalid region");
+  TPCOOL_REQUIRE(hotspot_band_c >= 0.0, "hotspot band must be non-negative");
+
+  ThermalMetrics m;
+  double sum = 0.0;
+  bool first = true;
+
+  const auto inside = [&](std::size_t ix, std::size_t iy) {
+    const floorplan::Rect cell = grid.cell_rect(ix, iy);
+    return region.contains(cell.center_x(), cell.center_y());
+  };
+
+  for (std::size_t iy = 0; iy < grid.ny; ++iy) {
+    for (std::size_t ix = 0; ix < grid.nx; ++ix) {
+      if (!inside(ix, iy)) continue;
+      const double t = field(ix, iy);
+      if (first || t > m.max_c) m.max_c = t;
+      first = false;
+      sum += t;
+      ++m.cell_count;
+
+      // Adjacent-cell spatial gradient, both in-region endpoints required.
+      if (ix + 1 < grid.nx && inside(ix + 1, iy)) {
+        const double g = std::abs(field(ix + 1, iy) - t) / (grid.dx * 1e3);
+        m.grad_max_c_per_mm = std::max(m.grad_max_c_per_mm, g);
+      }
+      if (iy + 1 < grid.ny && inside(ix, iy + 1)) {
+        const double g = std::abs(field(ix, iy + 1) - t) / (grid.dy * 1e3);
+        m.grad_max_c_per_mm = std::max(m.grad_max_c_per_mm, g);
+      }
+    }
+  }
+  TPCOOL_REQUIRE(m.cell_count > 0, "region contains no grid cells");
+  m.avg_c = sum / static_cast<double>(m.cell_count);
+
+  for (std::size_t iy = 0; iy < grid.ny; ++iy) {
+    for (std::size_t ix = 0; ix < grid.nx; ++ix) {
+      if (!inside(ix, iy)) continue;
+      if (field(ix, iy) > m.max_c - hotspot_band_c) ++m.hotspot_cells;
+    }
+  }
+  return m;
+}
+
+double sample_field(const util::Grid2D<double>& field,
+                    const floorplan::GridSpec& grid, double x, double y) {
+  TPCOOL_REQUIRE(field.nx() == grid.nx && field.ny() == grid.ny,
+                 "field/grid shape mismatch");
+  // Bilinear interpolation on cell centres, clamped at the borders.
+  const double fx = (x - grid.x0) / grid.dx - 0.5;
+  const double fy = (y - grid.y0) / grid.dy - 0.5;
+  const auto clamp_f = [](double v, double hi) {
+    return std::min(std::max(v, 0.0), hi);
+  };
+  const double cx = clamp_f(fx, static_cast<double>(grid.nx - 1));
+  const double cy = clamp_f(fy, static_cast<double>(grid.ny - 1));
+  const auto ix0 = static_cast<std::size_t>(cx);
+  const auto iy0 = static_cast<std::size_t>(cy);
+  const std::size_t ix1 = std::min(ix0 + 1, grid.nx - 1);
+  const std::size_t iy1 = std::min(iy0 + 1, grid.ny - 1);
+  const double tx = cx - static_cast<double>(ix0);
+  const double ty = cy - static_cast<double>(iy0);
+  const double a = field(ix0, iy0) * (1.0 - tx) + field(ix1, iy0) * tx;
+  const double b = field(ix0, iy1) * (1.0 - tx) + field(ix1, iy1) * tx;
+  return a * (1.0 - ty) + b * ty;
+}
+
+double case_temperature(const util::Grid2D<double>& ihs_field,
+                        const floorplan::GridSpec& grid,
+                        const floorplan::Rect& package_region) {
+  return sample_field(ihs_field, grid, package_region.center_x(),
+                      package_region.center_y());
+}
+
+}  // namespace tpcool::thermal

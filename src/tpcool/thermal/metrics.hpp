@@ -1,0 +1,41 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Thermal metrics reported by the paper: hot spot θmax, average θavg,
+///        maximum spatial gradient ∇θmax [°C/mm], hot-spot census, and the
+///        case temperature TCASE (centre of the heat spreader).
+
+#include <cstddef>
+
+#include "tpcool/floorplan/power_map.hpp"
+#include "tpcool/util/grid2d.hpp"
+
+namespace tpcool::thermal {
+
+/// Metrics of a 2D temperature field restricted to a region.
+struct ThermalMetrics {
+  double max_c = 0.0;              ///< θmax [°C].
+  double avg_c = 0.0;              ///< θavg [°C] (area-weighted cell mean).
+  double grad_max_c_per_mm = 0.0;  ///< ∇θmax [°C/mm], adjacent-cell gradient.
+  std::size_t hotspot_cells = 0;   ///< Cells within 2 °C of θmax.
+  std::size_t cell_count = 0;      ///< Cells inside the region.
+};
+
+/// Compute metrics over the cells whose centre lies inside `region`.
+/// `hotspot_band_c` defines the census: cells with T > θmax − band.
+[[nodiscard]] ThermalMetrics compute_metrics(const util::Grid2D<double>& field,
+                                             const floorplan::GridSpec& grid,
+                                             const floorplan::Rect& region,
+                                             double hotspot_band_c = 2.0);
+
+/// Bilinear sample of a field at package coordinates (x, y) [m].
+[[nodiscard]] double sample_field(const util::Grid2D<double>& field,
+                                  const floorplan::GridSpec& grid, double x,
+                                  double y);
+
+/// TCASE per the paper: temperature at the centre of the heat-spreader
+/// surface region. Takes the IHS-layer field and the package-centre coords.
+[[nodiscard]] double case_temperature(const util::Grid2D<double>& ihs_field,
+                                      const floorplan::GridSpec& grid,
+                                      const floorplan::Rect& package_region);
+
+}  // namespace tpcool::thermal

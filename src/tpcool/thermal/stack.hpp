@@ -1,0 +1,72 @@
+#pragma once
+/// \file stack.hpp
+/// \brief Package thermal layer stack: die + TIMs + heat spreader +
+///        evaporator base discretized on a regular package-plane grid.
+///
+/// The stack mirrors what 3D-ICE models for a lidded server package with a
+/// cold plate (here: the thermosyphon micro-evaporator) on top:
+///
+///   layer 5 (top)  evaporator copper base  — convective top boundary to the
+///                                            refrigerant (per-cell HTC map)
+///   layer 4        TIM2 (grease)           — only under the evaporator
+///   layer 3        copper IHS
+///   layer 2        TIM1 (indium-class)     — only over the die
+///   layer 1        silicon die             — heat sources live here
+///   layer 0        organic substrate       — weak convection to board
+///
+/// In-plane, the grid spans the package outline; the die and the evaporator
+/// footprint are centred sub-regions, with low-conductivity filler elsewhere
+/// in the die/TIM layers (the real air gap under the IHS).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tpcool/floorplan/power_map.hpp"
+#include "tpcool/floorplan/xeon_e5.hpp"
+#include "tpcool/materials/solid.hpp"
+#include "tpcool/util/grid2d.hpp"
+
+namespace tpcool::thermal {
+
+/// One discretized layer: per-cell conductivity and volumetric heat capacity.
+struct StackLayer {
+  std::string name;
+  double thickness_m = 0.0;
+  util::Grid2D<double> conductivity_w_mk;     ///< k per cell.
+  util::Grid2D<double> vol_heat_cap_j_m3k;    ///< ρ·c_p per cell.
+};
+
+/// Fully built stack ready for the finite-volume assembler.
+struct StackModel {
+  floorplan::GridSpec grid;          ///< Package-plane grid.
+  std::vector<StackLayer> layers;    ///< Bottom (substrate) to top (evap base).
+  std::size_t die_layer = 0;         ///< Index of the silicon/source layer.
+  std::size_t ihs_layer = 0;         ///< Index of the heat-spreader layer.
+  std::size_t top_layer = 0;         ///< Index of the evaporator-base layer.
+  floorplan::Rect die_region;        ///< Die outline in package coordinates.
+  floorplan::Rect evaporator_region; ///< Evaporator footprint, package coords.
+  double die_offset_x = 0.0;         ///< Die floorplan -> package transform.
+  double die_offset_y = 0.0;
+
+  [[nodiscard]] std::size_t layer_count() const { return layers.size(); }
+};
+
+/// Configuration of the standard Xeon E5 + thermosyphon stack.
+struct PackageStackConfig {
+  floorplan::XeonE5Geometry geometry;   ///< Die and package outline.
+  double evaporator_width_m = 44.0e-3;  ///< Evaporator footprint (channel
+  double evaporator_height_m = 42.0e-3; ///< plate of [8], matched to package).
+  double cell_size_m = 0.75e-3;         ///< In-plane discretization pitch.
+  double substrate_thickness_m = 1.0e-3;
+  double die_thickness_m = 0.5e-3;
+  double tim1_thickness_m = 70e-6;
+  double ihs_thickness_m = 2.0e-3;
+  double tim2_thickness_m = 50e-6;
+  double evaporator_base_thickness_m = 1.0e-3;
+};
+
+/// Build the stack described above, centred on the package.
+[[nodiscard]] StackModel make_package_stack(const PackageStackConfig& config = {});
+
+}  // namespace tpcool::thermal

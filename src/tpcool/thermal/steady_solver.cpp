@@ -1,0 +1,23 @@
+#include "tpcool/thermal/grid.hpp"
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::thermal {
+
+std::vector<double> ThermalModel::solve_steady(
+    const std::vector<double>& hint) const {
+  assemble();
+  const std::size_t n = cell_count();
+  std::vector<double> rhs = boundary_rhs_;
+  for (std::size_t iy = 0; iy < ny(); ++iy) {
+    for (std::size_t ix = 0; ix < nx(); ++ix) {
+      rhs[cell_index(ix, iy, stack_.die_layer)] += power_w_(ix, iy);
+    }
+  }
+  std::vector<double> t = hint;
+  if (t.size() != n) t.assign(n, 40.0);  // rough initial guess [°C]
+  util::solve_cg(matrix_, rhs, t,
+                 {.tolerance = 1e-8, .max_iterations = 50000});
+  return t;
+}
+
+}  // namespace tpcool::thermal

@@ -1,0 +1,80 @@
+#include <cmath>
+
+#include "tpcool/thermal/grid.hpp"
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::thermal {
+
+void ThermalModel::step_transient(std::vector<double>& t, double dt_s) const {
+  TPCOOL_REQUIRE(dt_s > 0.0, "time step must be positive");
+  assemble();
+  const std::size_t n = cell_count();
+  TPCOOL_REQUIRE(t.size() == n, "state vector size mismatch");
+
+  // Backward Euler: (C/dt + G)·T⁺ = C/dt·T + P + boundary.
+  // G is the assembled steady operator; C/dt is diagonal, so we run a
+  // matrix-free Jacobi-preconditioned CG on the summed operator instead of
+  // re-assembling a second sparse matrix every step.
+  const double cell_area = stack_.grid.dx * stack_.grid.dy;
+  std::vector<double> cdiag(n, 0.0);
+  std::vector<double> rhs = boundary_rhs_;
+  for (std::size_t iz = 0; iz < nz(); ++iz) {
+    const double vol = cell_area * stack_.layers[iz].thickness_m;
+    for (std::size_t iy = 0; iy < ny(); ++iy) {
+      for (std::size_t ix = 0; ix < nx(); ++ix) {
+        const std::size_t i = cell_index(ix, iy, iz);
+        cdiag[i] = stack_.layers[iz].vol_heat_cap_j_m3k(ix, iy) * vol / dt_s;
+        rhs[i] += cdiag[i] * t[i];
+        if (iz == stack_.die_layer) rhs[i] += power_w_(ix, iy);
+      }
+    }
+  }
+
+  std::vector<double> x = t;  // warm start from the previous state
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  const auto apply = [&](const std::vector<double>& in,
+                         std::vector<double>& out) {
+    matrix_.multiply(in, out);
+    for (std::size_t i = 0; i < n; ++i) out[i] += cdiag[i] * in[i];
+  };
+
+  std::vector<double> inv_diag = matrix_.diagonal();
+  for (std::size_t i = 0; i < n; ++i) inv_diag[i] = 1.0 / (inv_diag[i] + cdiag[i]);
+
+  apply(x, ap);
+  double bnorm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = rhs[i] - ap[i];
+    bnorm += rhs[i] * rhs[i];
+  }
+  bnorm = std::sqrt(bnorm);
+  if (bnorm == 0.0) bnorm = 1.0;
+
+  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  p = z;
+  double rz = 0.0;
+  for (std::size_t i = 0; i < n; ++i) rz += r[i] * z[i];
+
+  constexpr std::size_t kMaxIterations = 20000;
+  for (std::size_t it = 0; it < kMaxIterations; ++it) {
+    double rnorm = 0.0;
+    for (const double v : r) rnorm += v * v;
+    if (std::sqrt(rnorm) / bnorm < 1e-9) break;
+    apply(p, ap);
+    double pap = 0.0;
+    for (std::size_t i = 0; i < n; ++i) pap += p[i] * ap[i];
+    TPCOOL_ENSURE(pap > 0.0, "transient operator lost positive-definiteness");
+    const double alpha = rz / pap;
+    for (std::size_t i = 0; i < n; ++i) x[i] += alpha * p[i];
+    for (std::size_t i = 0; i < n; ++i) r[i] -= alpha * ap[i];
+    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    double rz_new = 0.0;
+    for (std::size_t i = 0; i < n; ++i) rz_new += r[i] * z[i];
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  t = std::move(x);
+}
+
+}  // namespace tpcool::thermal

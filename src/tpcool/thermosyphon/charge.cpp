@@ -1,0 +1,54 @@
+#include "tpcool/thermosyphon/charge.hpp"
+
+#include <numbers>
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::thermosyphon {
+
+LoopVolumes compute_volumes(const EvaporatorGeometry& geometry,
+                            double riser_height_m, double pipe_diameter_m,
+                            double condenser_volume_m3) {
+  geometry.validate();
+  TPCOOL_REQUIRE(riser_height_m > 0.0 && pipe_diameter_m > 0.0 &&
+                     condenser_volume_m3 > 0.0,
+                 "invalid loop dimensions");
+  LoopVolumes volumes;
+  volumes.evaporator_m3 = static_cast<double>(geometry.channel_count()) *
+                          geometry.channel_flow_area_m2() *
+                          geometry.channel_length_m();
+  volumes.condenser_m3 = condenser_volume_m3;
+  const double pipe_area =
+      std::numbers::pi * 0.25 * pipe_diameter_m * pipe_diameter_m;
+  // Riser + downcomer, both spanning the loop height.
+  volumes.piping_m3 = 2.0 * pipe_area * riser_height_m;
+  return volumes;
+}
+
+double charge_mass_kg(const materials::Refrigerant& fluid,
+                      const LoopVolumes& volumes, double filling_ratio,
+                      double charge_temp_c) {
+  TPCOOL_REQUIRE(filling_ratio > 0.0 && filling_ratio <= 1.0,
+                 "filling ratio outside (0, 1]");
+  TPCOOL_REQUIRE(volumes.total_m3() > 0.0, "empty loop volume");
+  const double v_liq = volumes.total_m3() * filling_ratio;
+  const double v_vap = volumes.total_m3() - v_liq;
+  return v_liq * fluid.liquid_density_kg_m3(charge_temp_c) +
+         v_vap * fluid.vapor_density_kg_m3(charge_temp_c);
+}
+
+double filling_ratio_of(const materials::Refrigerant& fluid,
+                        const LoopVolumes& volumes, double charge_mass,
+                        double charge_temp_c) {
+  TPCOOL_REQUIRE(volumes.total_m3() > 0.0, "empty loop volume");
+  const double rho_l = fluid.liquid_density_kg_m3(charge_temp_c);
+  const double rho_v = fluid.vapor_density_kg_m3(charge_temp_c);
+  // m = V·[fr·ρ_l + (1−fr)·ρ_v]  =>  fr = (m/V − ρ_v)/(ρ_l − ρ_v).
+  const double fr =
+      (charge_mass / volumes.total_m3() - rho_v) / (rho_l - rho_v);
+  TPCOOL_REQUIRE(fr > 0.0 && fr <= 1.0,
+                 "charge mass under/over-fills the loop");
+  return fr;
+}
+
+}  // namespace tpcool::thermosyphon

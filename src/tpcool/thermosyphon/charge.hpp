@@ -1,0 +1,47 @@
+#pragma once
+/// \file charge.hpp
+/// \brief Refrigerant charge sizing: convert the filling ratio (the design
+///        parameter of §VI-B, defined as the liquid-filled fraction of the
+///        loop volume at rest) into the charge mass in grams for a given
+///        geometry — what a lab actually loads through the charge valve.
+
+#include "tpcool/materials/refrigerant.hpp"
+#include "tpcool/thermosyphon/geometry.hpp"
+
+namespace tpcool::thermosyphon {
+
+/// Internal volumes of the loop [m³].
+struct LoopVolumes {
+  double evaporator_m3 = 0.0;  ///< All micro-channels.
+  double condenser_m3 = 0.0;
+  double piping_m3 = 0.0;      ///< Riser + downcomer.
+
+  [[nodiscard]] double total_m3() const {
+    return evaporator_m3 + condenser_m3 + piping_m3;
+  }
+};
+
+/// Volumes from the evaporator geometry plus loop piping parameters.
+/// \param riser_height_m vertical extent of the loop.
+/// \param pipe_diameter_m riser/downcomer bore.
+/// \param condenser_volume_m3 condenser-side internal volume.
+[[nodiscard]] LoopVolumes compute_volumes(const EvaporatorGeometry& geometry,
+                                          double riser_height_m = 0.10,
+                                          double pipe_diameter_m = 6.0e-3,
+                                          double condenser_volume_m3 = 8.0e-6);
+
+/// Charge mass [kg] at a filling ratio: liquid fills `filling_ratio` of the
+/// total volume at the charge temperature, vapor fills the rest.
+[[nodiscard]] double charge_mass_kg(const materials::Refrigerant& fluid,
+                                    const LoopVolumes& volumes,
+                                    double filling_ratio,
+                                    double charge_temp_c = 25.0);
+
+/// Inverse: filling ratio implied by a charge mass at a temperature.
+/// Throws PreconditionError when the mass over/under-fills the loop.
+[[nodiscard]] double filling_ratio_of(const materials::Refrigerant& fluid,
+                                      const LoopVolumes& volumes,
+                                      double charge_mass_kg,
+                                      double charge_temp_c = 25.0);
+
+}  // namespace tpcool::thermosyphon

@@ -1,0 +1,35 @@
+#include "tpcool/thermosyphon/condenser.hpp"
+
+#include <cmath>
+
+namespace tpcool::thermosyphon {
+
+double condenser_effectiveness(const CondenserDesign& design,
+                               double filling_ratio,
+                               double water_capacity_w_k) {
+  TPCOOL_REQUIRE(water_capacity_w_k > 0.0,
+                 "water capacity rate must be positive");
+  const double ntu =
+      design.effective_ua_w_k(filling_ratio) / water_capacity_w_k;
+  return 1.0 - std::exp(-ntu);
+}
+
+double saturation_temperature_c(const CondenserDesign& design,
+                                double filling_ratio, double q_w,
+                                double water_inlet_c,
+                                double water_capacity_w_k) {
+  TPCOOL_REQUIRE(q_w >= 0.0, "negative heat load");
+  const double eff =
+      condenser_effectiveness(design, filling_ratio, water_capacity_w_k);
+  return water_inlet_c + q_w / (eff * water_capacity_w_k);
+}
+
+double water_outlet_c(double q_w, double water_inlet_c,
+                      double water_capacity_w_k) {
+  TPCOOL_REQUIRE(q_w >= 0.0, "negative heat load");
+  TPCOOL_REQUIRE(water_capacity_w_k > 0.0,
+                 "water capacity rate must be positive");
+  return water_inlet_c + q_w / water_capacity_w_k;
+}
+
+}  // namespace tpcool::thermosyphon

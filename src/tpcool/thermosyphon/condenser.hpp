@@ -1,0 +1,49 @@
+#pragma once
+/// \file condenser.hpp
+/// \brief Water-cooled micro-condenser: ε-NTU model relating the loop
+///        saturation temperature to the coolant inlet temperature and flow.
+///
+/// The condensing side is isothermal (phase change), so the effectiveness of
+/// a condenser with overall conductance UA against a water stream with
+/// capacity rate C_w is ε = 1 − exp(−UA/C_w), and
+///   Q = ε · C_w · (T_sat − T_w,in).
+/// Overcharging the loop (filling ratio ≳ 0.7) floods condenser area with
+/// liquid and derates UA — one side of the filling-ratio optimum (§VI-B).
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::thermosyphon {
+
+/// Condenser design parameters.
+struct CondenserDesign {
+  double ua_w_k = 25.0;  ///< Overall conductance at nominal charge [W/K].
+
+  /// Derated conductance when the charge floods the condenser.
+  [[nodiscard]] double effective_ua_w_k(double filling_ratio) const {
+    TPCOOL_REQUIRE(filling_ratio > 0.0 && filling_ratio <= 1.0,
+                   "filling ratio outside (0, 1]");
+    const double excess = filling_ratio - 0.70;
+    if (excess <= 0.0) return ua_w_k;
+    const double derate = 1.0 - 3.0 * excess;     // −3 %/% overcharge
+    return ua_w_k * (derate < 0.20 ? 0.20 : derate);
+  }
+};
+
+/// Effectiveness against a water stream with capacity rate C_w [W/K].
+[[nodiscard]] double condenser_effectiveness(const CondenserDesign& design,
+                                             double filling_ratio,
+                                             double water_capacity_w_k);
+
+/// Saturation temperature [°C] required to reject `q_w` into water entering
+/// at `water_inlet_c` with capacity rate `water_capacity_w_k`.
+[[nodiscard]] double saturation_temperature_c(const CondenserDesign& design,
+                                              double filling_ratio,
+                                              double q_w,
+                                              double water_inlet_c,
+                                              double water_capacity_w_k);
+
+/// Water outlet temperature [°C] after absorbing `q_w`.
+[[nodiscard]] double water_outlet_c(double q_w, double water_inlet_c,
+                                    double water_capacity_w_k);
+
+}  // namespace tpcool::thermosyphon

@@ -1,0 +1,86 @@
+#include "tpcool/thermosyphon/design_optimizer.hpp"
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::thermosyphon {
+
+DesignResult optimize_design(const DesignSearchSpace& space,
+                             const DesignEvaluator& evaluate) {
+  TPCOOL_REQUIRE(static_cast<bool>(evaluate), "evaluator must be callable");
+  TPCOOL_REQUIRE(!space.orientations.empty() && !space.refrigerants.empty() &&
+                     !space.filling_ratios.empty(),
+                 "empty design search space");
+  TPCOOL_REQUIRE(!space.water_temps_c.empty() &&
+                     !space.water_flows_kg_h.empty(),
+                 "empty operating-point search space");
+
+  DesignResult result;
+  bool have_best = false;
+
+  // Stage 1: design-time parameters at the reference operating point
+  // (nominal flow, nominal temperature — the paper's 7 kg/h @ 30 °C).
+  const OperatingPoint reference{};
+  for (const Orientation orientation : space.orientations) {
+    for (const materials::Refrigerant* fluid : space.refrigerants) {
+      for (const double fr : space.filling_ratios) {
+        ThermosyphonDesign candidate = space.base;
+        candidate.evaporator.orientation = orientation;
+        candidate.refrigerant = fluid;
+        candidate.filling_ratio = fr;
+
+        DesignRecord record;
+        record.design = candidate;
+        record.op = reference;
+        record.eval = evaluate(candidate, reference);
+        record.feasible =
+            record.eval.tcase_c <= space.tcase_limit_c &&
+            !record.eval.dryout &&
+            record.eval.loop_pressure_pa <= space.max_loop_pressure_pa;
+        result.records.push_back(record);
+
+        if (!record.feasible) continue;
+        const bool better =
+            !have_best ||
+            record.eval.die_max_c < result.eval.die_max_c - 1e-9 ||
+            (record.eval.die_max_c < result.eval.die_max_c + 1e-9 &&
+             record.eval.die_grad_c_per_mm < result.eval.die_grad_c_per_mm);
+        if (better) {
+          result.design = candidate;
+          result.op = reference;
+          result.eval = record.eval;
+          have_best = true;
+        }
+      }
+    }
+  }
+  TPCOOL_REQUIRE(have_best, "no feasible thermosyphon design found");
+
+  // Stage 2: §VI-C — the highest water temperature, then the lowest flow,
+  // for which TCASE stays under the limit for the worst-case workload.
+  bool op_found = false;
+  for (const double t_w : space.water_temps_c) {       // preferred order
+    for (const double flow : space.water_flows_kg_h) { // low flow first
+      const OperatingPoint op{.water_flow_kg_h = flow, .water_inlet_c = t_w};
+      DesignRecord record;
+      record.design = result.design;
+      record.op = op;
+      record.eval = evaluate(result.design, op);
+      record.feasible =
+          record.eval.tcase_c <= space.tcase_limit_c &&
+          !record.eval.dryout &&
+          record.eval.loop_pressure_pa <= space.max_loop_pressure_pa;
+      result.records.push_back(record);
+      if (record.feasible) {
+        result.op = op;
+        result.eval = record.eval;
+        op_found = true;
+        break;
+      }
+    }
+    if (op_found) break;
+  }
+  TPCOOL_REQUIRE(op_found, "no feasible operating point found");
+  return result;
+}
+
+}  // namespace tpcool::thermosyphon

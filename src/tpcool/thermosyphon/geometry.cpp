@@ -1,0 +1,13 @@
+#include "tpcool/thermosyphon/geometry.hpp"
+
+namespace tpcool::thermosyphon {
+
+const char* to_string(Orientation o) {
+  switch (o) {
+    case Orientation::kEastWest: return "east-west (design 1)";
+    case Orientation::kNorthSouth: return "north-south (design 2)";
+  }
+  return "?";
+}
+
+}  // namespace tpcool::thermosyphon

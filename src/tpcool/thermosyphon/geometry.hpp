@@ -1,0 +1,78 @@
+#pragma once
+/// \file geometry.hpp
+/// \brief Evaporator micro-channel geometry and thermosyphon orientation
+///        (paper §VI-A: inlet/outlet placement relative to the die).
+
+#include <cstddef>
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::thermosyphon {
+
+/// Channel-flow orientation over the package.
+///
+/// - kEastWest  (paper "Design 1"): channels run west→east; the refrigerant
+///   enters on the west side, over the core columns, and leaves over the
+///   dead east side of the die — the flow is *eastward*.
+/// - kNorthSouth (paper "Design 2"): channels run north→south with the inlet
+///   on the north edge.
+enum class Orientation { kEastWest, kNorthSouth };
+
+[[nodiscard]] const char* to_string(Orientation o);
+
+/// Micro-channel evaporator plate geometry.
+struct EvaporatorGeometry {
+  double footprint_width_m = 44.0e-3;   ///< E-W extent of the channel plate.
+  double footprint_height_m = 42.0e-3;  ///< N-S extent.
+  double channel_width_m = 0.8e-3;
+  double fin_width_m = 0.4e-3;          ///< Wall between adjacent channels.
+  double channel_height_m = 1.5e-3;
+  Orientation orientation = Orientation::kEastWest;
+
+  [[nodiscard]] double pitch_m() const {
+    return channel_width_m + fin_width_m;
+  }
+
+  /// Number of parallel channels: transverse extent / pitch. Orientation
+  /// changes the count because the plate is not square (paper §VI-A).
+  [[nodiscard]] std::size_t channel_count() const {
+    const double transverse = orientation == Orientation::kEastWest
+                                  ? footprint_height_m
+                                  : footprint_width_m;
+    const auto n = static_cast<std::size_t>(transverse / pitch_m());
+    TPCOOL_ENSURE(n >= 1, "footprint smaller than one channel pitch");
+    return n;
+  }
+
+  /// Heated length of each channel (along-flow extent).
+  [[nodiscard]] double channel_length_m() const {
+    return orientation == Orientation::kEastWest ? footprint_width_m
+                                                 : footprint_height_m;
+  }
+
+  /// Flow cross-section of a single channel [m²].
+  [[nodiscard]] double channel_flow_area_m2() const {
+    return channel_width_m * channel_height_m;
+  }
+
+  /// Hydraulic diameter of a channel [m].
+  [[nodiscard]] double hydraulic_diameter_m() const {
+    const double a = channel_width_m;
+    const double b = channel_height_m;
+    return 2.0 * a * b / (a + b);
+  }
+
+  /// Heated (base) area per metre of channel, one pitch wide — the fin
+  /// efficiency is lumped into the pitch-wide footprint.
+  [[nodiscard]] double heated_width_m() const { return pitch_m(); }
+
+  void validate() const {
+    TPCOOL_REQUIRE(footprint_width_m > 0 && footprint_height_m > 0,
+                   "footprint must be positive");
+    TPCOOL_REQUIRE(channel_width_m > 0 && channel_height_m > 0,
+                   "channel section must be positive");
+    TPCOOL_REQUIRE(fin_width_m >= 0, "fin width must be non-negative");
+  }
+};
+
+}  // namespace tpcool::thermosyphon

@@ -1,0 +1,47 @@
+#pragma once
+/// \file loop.hpp
+/// \brief Natural-circulation (gravity-driven) loop solver: the refrigerant
+///        mass flow settles where the gravity driving head of the
+///        liquid/two-phase density difference balances loop friction.
+///
+/// This is the defining property of a thermosyphon (no pump): more heat
+/// produces more vapor, a lighter riser column, and hence more driving head
+/// — the flow self-scales with load (paper §III).
+
+#include "tpcool/materials/refrigerant.hpp"
+
+namespace tpcool::thermosyphon {
+
+/// Loop hydraulic design parameters.
+struct LoopDesign {
+  double riser_height_m = 0.10;      ///< Vertical extent of the loop.
+  /// Lumped friction coefficient [Pa·s²/kg²]: Δp_f = K·ṁ²/ρ_l·Φ_tp.
+  /// Calibrated so the nominal design reaches ~0.4 exit quality at 80 W.
+  double friction_coeff = 1.3e11;
+};
+
+/// Converged circulation state.
+struct LoopState {
+  double mass_flow_kg_s = 0.0;
+  double exit_quality = 0.0;    ///< Loop-mean evaporator exit quality.
+  double driving_pa = 0.0;      ///< Gravity head at convergence.
+  double friction_pa = 0.0;     ///< Friction drop at convergence (= driving).
+};
+
+/// Homogeneous-flow void fraction at a vapor quality.
+[[nodiscard]] double void_fraction(const materials::Refrigerant& fluid,
+                                   double t_sat_c, double quality);
+
+/// Mean riser mixture density [kg/m³] at a vapor quality.
+[[nodiscard]] double riser_density_kg_m3(const materials::Refrigerant& fluid,
+                                         double t_sat_c, double quality);
+
+/// Solve the circulation balance for total evaporator load `q_total_w` at
+/// saturation temperature `t_sat_c`. The filling ratio scales the available
+/// liquid head (an undercharged loop has a shorter downcomer column).
+[[nodiscard]] LoopState solve_loop(const materials::Refrigerant& fluid,
+                                   double t_sat_c, double q_total_w,
+                                   double filling_ratio,
+                                   const LoopDesign& design = {});
+
+}  // namespace tpcool::thermosyphon

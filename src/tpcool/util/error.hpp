@@ -1,0 +1,70 @@
+#pragma once
+/// \file error.hpp
+/// \brief Contract-checking macros used across the tpcool library.
+///
+/// tpcool follows the C++ Core Guidelines error-handling philosophy:
+/// violated preconditions and invariants throw exceptions carrying a message
+/// that names the file, line and violated condition.  All checks stay enabled
+/// in release builds: the library drives design decisions, so silently wrong
+/// answers are worse than the (negligible) cost of the checks.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tpcool::util {
+
+/// Exception thrown when a precondition (argument contract) is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Exception thrown when an internal invariant or postcondition is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Exception thrown when a numerical routine fails to converge.
+class ConvergenceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* cond, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": precondition violated: (" << cond << ')';
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* cond, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": invariant violated: (" << cond << ')';
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace tpcool::util
+
+/// Check a caller-facing precondition; throws tpcool::util::PreconditionError.
+#define TPCOOL_REQUIRE(cond, msg)                                        \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::tpcool::util::detail::throw_precondition(#cond, __FILE__,        \
+                                                 __LINE__, (msg));       \
+  } while (false)
+
+/// Check an internal invariant/postcondition; throws tpcool::util::InvariantError.
+#define TPCOOL_ENSURE(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::tpcool::util::detail::throw_invariant(#cond, __FILE__, __LINE__, \
+                                              (msg));                    \
+  } while (false)

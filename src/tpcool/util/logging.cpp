@@ -1,0 +1,32 @@
+#include "tpcool/util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace tpcool::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) > static_cast<int>(g_level.load())) return;
+  if (message.empty()) return;
+  std::cerr << "[tpcool:" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace tpcool::util

@@ -1,0 +1,47 @@
+#pragma once
+/// \file logging.hpp
+/// \brief Minimal leveled logger. Quiet by default so tests and benches stay
+///        clean; verbose levels help when debugging solver convergence.
+
+#include <sstream>
+#include <string>
+
+namespace tpcool::util {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log threshold; messages above it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit a message at the given level (to stderr).
+void log(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::kError); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::kWarn); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::kInfo); }
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::kDebug); }
+
+}  // namespace tpcool::util

@@ -1,0 +1,67 @@
+#pragma once
+/// \file rootfind.hpp
+/// \brief Scalar root finding and fixed-point iteration helpers used by the
+///        thermosyphon loop solver and the design optimizer.
+
+#include <cmath>
+#include <cstddef>
+#include <functional>
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::util {
+
+struct BisectionOptions {
+  double tolerance = 1e-9;      ///< Absolute tolerance on the bracket width.
+  std::size_t max_iterations = 200;
+};
+
+/// Find x in [lo, hi] with f(x) = 0 by bisection. Requires f(lo) and f(hi)
+/// to have opposite signs (or one of them to be zero).
+template <typename F>
+[[nodiscard]] double bisect(F&& f, double lo, double hi,
+                            const BisectionOptions& options = {}) {
+  TPCOOL_REQUIRE(lo < hi, "bisect: invalid bracket");
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  TPCOOL_REQUIRE(std::signbit(flo) != std::signbit(fhi),
+                 "bisect: bracket does not straddle a root");
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0 || (hi - lo) < options.tolerance) return mid;
+    if (std::signbit(fmid) == std::signbit(flo)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+struct FixedPointOptions {
+  double tolerance = 1e-6;   ///< Absolute tolerance on |x_{k+1} - x_k|.
+  double relaxation = 1.0;   ///< Under-relaxation factor in (0, 1].
+  std::size_t max_iterations = 200;
+};
+
+/// Iterate x <- (1-w)·x + w·g(x) until the update is below tolerance.
+/// Throws ConvergenceError when the iteration limit is exhausted.
+template <typename G>
+[[nodiscard]] double fixed_point(G&& g, double x0,
+                                 const FixedPointOptions& options = {}) {
+  TPCOOL_REQUIRE(options.relaxation > 0.0 && options.relaxation <= 1.0,
+                 "fixed_point: relaxation must be in (0, 1]");
+  double x = x0;
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    const double next = (1.0 - options.relaxation) * x + options.relaxation * g(x);
+    if (std::abs(next - x) < options.tolerance) return next;
+    x = next;
+  }
+  throw ConvergenceError("fixed_point: failed to converge");
+}
+
+}  // namespace tpcool::util

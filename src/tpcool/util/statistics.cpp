@@ -1,0 +1,51 @@
+#include "tpcool/util/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::util {
+
+Summary summarize(std::span<const double> values) {
+  TPCOOL_REQUIRE(!values.empty(), "summarize: empty sample");
+  Summary s;
+  s.count = values.size();
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0.0;
+  for (const double v : values) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double var = 0.0;
+  for (const double v : values) {
+    const double d = v - s.mean;
+    var += d * d;
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(s.count));
+  return s;
+}
+
+double percentile(std::span<const double> values, double p) {
+  TPCOOL_REQUIRE(!values.empty(), "percentile: empty sample");
+  TPCOOL_REQUIRE(p >= 0.0 && p <= 100.0, "percentile: p outside [0, 100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double t = rank - static_cast<double>(lo);
+  return sorted[lo] + t * (sorted[hi] - sorted[lo]);
+}
+
+double mean(std::span<const double> values) {
+  TPCOOL_REQUIRE(!values.empty(), "mean: empty sample");
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace tpcool::util

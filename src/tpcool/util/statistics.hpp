@@ -1,0 +1,29 @@
+#pragma once
+/// \file statistics.hpp
+/// \brief Descriptive statistics over value spans (thermal-metric helpers).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tpcool::util {
+
+/// Summary statistics of a sample.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Population standard deviation.
+  std::size_t count = 0;
+};
+
+/// Compute summary statistics; requires a non-empty span.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+/// p-th percentile (0..100) by linear interpolation on the sorted sample.
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+/// Arithmetic mean; requires a non-empty span.
+[[nodiscard]] double mean(std::span<const double> values);
+
+}  // namespace tpcool::util

@@ -1,0 +1,52 @@
+#include "tpcool/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  TPCOOL_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  TPCOOL_REQUIRE(row.size() == header_.size(),
+                 "table row arity does not match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      if (c + 1 != row.size()) out << "   ";
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  std::vector<std::string> rule(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    rule[c] = std::string(widths[c], '-');
+  }
+  print_row(rule);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace tpcool::util

@@ -1,0 +1,38 @@
+#pragma once
+/// \file table.hpp
+/// \brief Console table printer used by the bench harness to print the
+///        paper's tables with aligned columns.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tpcool::util {
+
+/// Accumulates rows of strings and prints them with aligned columns and an
+/// underlined header, e.g.
+///
+///   Approach   QoS   Die θmax   Die ∇θmax
+///   --------   ---   --------   ---------
+///   Proposed   1x    78.3       0.90
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Append a data row; must match the header arity.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience for mixed string/double rows: doubles are formatted with
+  /// the given precision.
+  static std::string fmt(double value, int precision = 2);
+
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tpcool::util

@@ -1,0 +1,41 @@
+#include "tpcool/workload/configuration.hpp"
+
+#include <sstream>
+
+#include "tpcool/power/core_power.hpp"
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::workload {
+
+std::string Configuration::label() const {
+  std::ostringstream os;
+  os << '(' << cores << ',' << total_threads() << ',' << freq_ghz << ')';
+  return os.str();
+}
+
+Configuration baseline_configuration() { return {8, 2, 3.2}; }
+
+std::vector<Configuration> configuration_space(int max_cores) {
+  TPCOOL_REQUIRE(max_cores >= 1, "need at least one core");
+  std::vector<Configuration> space;
+  for (int nc = 1; nc <= max_cores; ++nc) {
+    for (int tpc : {1, 2}) {
+      for (const double f : power::core_frequency_levels()) {
+        space.push_back({nc, tpc, f});
+      }
+    }
+  }
+  return space;
+}
+
+std::vector<Configuration> fig3_configurations() {
+  // (Nc, Nt_total, f): (2,4), (4,4), (4,8), (8,8), (8,16) @ fmax.
+  return {{2, 2, 3.2}, {4, 1, 3.2}, {4, 2, 3.2}, {8, 1, 3.2}, {8, 2, 3.2}};
+}
+
+const std::vector<QoSRequirement>& qos_levels() {
+  static const std::vector<QoSRequirement> levels{{1.0}, {2.0}, {3.0}};
+  return levels;
+}
+
+}  // namespace tpcool::workload

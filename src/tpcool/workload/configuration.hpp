@@ -1,0 +1,51 @@
+#pragma once
+/// \file configuration.hpp
+/// \brief Workload execution configurations (Nc, Nt, f) and QoS levels.
+
+#include <string>
+#include <vector>
+
+namespace tpcool::workload {
+
+/// One execution configuration: number of cores, SMT threads per core, and
+/// the core DVFS frequency (paper notation: (Nc, Nt, f) with Nt the total
+/// thread count = cores × threads-per-core).
+struct Configuration {
+  int cores = 8;
+  int threads_per_core = 2;  ///< 1 or 2 (paper Algorithm 1: Nt = {1, 2}).
+  double freq_ghz = 3.2;
+
+  [[nodiscard]] int total_threads() const { return cores * threads_per_core; }
+
+  /// Paper-style label "(Nc,Nt,f)".
+  [[nodiscard]] std::string label() const;
+
+  [[nodiscard]] bool operator==(const Configuration&) const = default;
+};
+
+/// Reference configuration of the QoS baseline: native 8 cores, 16 threads,
+/// maximum core and uncore frequency (§IV-B).
+[[nodiscard]] Configuration baseline_configuration();
+
+/// Full configuration space enumerated by Algorithm 1:
+/// Nc ∈ {1..max_cores} × threads-per-core ∈ {1,2} × supported frequencies.
+[[nodiscard]] std::vector<Configuration> configuration_space(
+    int max_cores = 8);
+
+/// The five configurations plotted in Fig. 3 (all at fmax).
+[[nodiscard]] std::vector<Configuration> fig3_configurations();
+
+/// QoS requirement: tolerated execution-time degradation factor w.r.t. the
+/// baseline configuration (1x = no degradation, 2x, 3x — §IV-B).
+struct QoSRequirement {
+  double factor = 1.0;
+
+  [[nodiscard]] bool satisfied_by(double normalized_exec_time) const {
+    return normalized_exec_time <= factor + 1e-9;
+  }
+};
+
+/// The three QoS levels evaluated in Table II.
+[[nodiscard]] const std::vector<QoSRequirement>& qos_levels();
+
+}  // namespace tpcool::workload

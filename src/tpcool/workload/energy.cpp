@@ -1,0 +1,55 @@
+#include "tpcool/workload/energy.hpp"
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::workload {
+
+EnergyPoint energy_of(const ConfigPoint& point) {
+  EnergyPoint e;
+  e.config = point.config;
+  e.power_w = point.power_w;
+  e.norm_time = point.norm_time;
+  e.norm_energy = point.power_w * point.norm_time;
+  e.norm_edp = e.norm_energy * point.norm_time;
+  return e;
+}
+
+std::vector<EnergyPoint> energy_profile(
+    const std::vector<ConfigPoint>& profile) {
+  std::vector<EnergyPoint> out;
+  out.reserve(profile.size());
+  for (const ConfigPoint& p : profile) out.push_back(energy_of(p));
+  return out;
+}
+
+EnergyPoint min_energy_select(const std::vector<ConfigPoint>& profile,
+                              const QoSRequirement& qos) {
+  TPCOOL_REQUIRE(!profile.empty(), "empty profile");
+  const ConfigPoint* best = nullptr;
+  double best_energy = 0.0;
+  for (const ConfigPoint& p : profile) {
+    if (!qos.satisfied_by(p.norm_time)) continue;
+    const double e = p.power_w * p.norm_time;
+    if (best == nullptr || e < best_energy) {
+      best = &p;
+      best_energy = e;
+    }
+  }
+  TPCOOL_REQUIRE(best != nullptr, "no configuration satisfies the QoS");
+  return energy_of(*best);
+}
+
+double race_to_idle_ratio(const ConfigPoint& fast, const ConfigPoint& slow,
+                          double sleep_power_w) {
+  TPCOOL_REQUIRE(fast.norm_time <= slow.norm_time,
+                 "race-to-idle: 'fast' must not be slower than 'slow'");
+  TPCOOL_REQUIRE(sleep_power_w >= 0.0, "negative sleep power");
+  const double fast_energy =
+      fast.power_w * fast.norm_time +
+      sleep_power_w * (slow.norm_time - fast.norm_time);
+  const double slow_energy = slow.power_w * slow.norm_time;
+  TPCOOL_ENSURE(slow_energy > 0.0, "zero slow-run energy");
+  return fast_energy / slow_energy;
+}
+
+}  // namespace tpcool::workload

@@ -1,0 +1,44 @@
+#pragma once
+/// \file energy.hpp
+/// \brief Energy accounting on top of the power and performance models:
+///        energy per run, energy-delay product, and per-configuration
+///        comparisons. Used to show that Algorithm 1's min-power selection
+///        also wins on energy against thread packing at relaxed QoS.
+
+#include "tpcool/workload/profiler.hpp"
+
+namespace tpcool::workload {
+
+/// Energy figures of one configuration for a benchmark, relative to the
+/// baseline run (the model works in normalized time, so energies are in
+/// "watt × baseline-seconds" units — ratios between configurations are
+/// exact, absolute joules require the baseline wall-clock).
+struct EnergyPoint {
+  Configuration config;
+  double power_w = 0.0;
+  double norm_time = 0.0;
+  double norm_energy = 0.0;  ///< power × norm_time (baseline-relative).
+  double norm_edp = 0.0;     ///< energy × delay product.
+};
+
+/// Energy figures for a profiled configuration point.
+[[nodiscard]] EnergyPoint energy_of(const ConfigPoint& point);
+
+/// Energy figures over a full profile.
+[[nodiscard]] std::vector<EnergyPoint> energy_profile(
+    const std::vector<ConfigPoint>& profile);
+
+/// The minimum-energy configuration meeting a QoS requirement.
+/// Throws PreconditionError when no configuration qualifies.
+[[nodiscard]] EnergyPoint min_energy_select(
+    const std::vector<ConfigPoint>& profile, const QoSRequirement& qos);
+
+/// Race-to-idle analysis: energy of running fast then sleeping at a given
+/// C-state power for the remaining time, normalized against the slow run.
+/// \param fast/slow profiled points; fast.norm_time must be <= slow's.
+/// \param sleep_power_w package power while parked after the fast run.
+[[nodiscard]] double race_to_idle_ratio(const ConfigPoint& fast,
+                                        const ConfigPoint& slow,
+                                        double sleep_power_w);
+
+}  // namespace tpcool::workload

@@ -1,0 +1,54 @@
+#include "tpcool/workload/performance_model.hpp"
+
+#include <cmath>
+
+#include "tpcool/power/core_power.hpp"
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::workload {
+
+namespace {
+constexpr double kFmaxGhz = 3.2;
+}
+
+double effective_workers(const BenchmarkProfile& bench,
+                         const Configuration& config) {
+  TPCOOL_REQUIRE(config.cores >= 1, "configuration needs cores");
+  TPCOOL_REQUIRE(config.threads_per_core == 1 || config.threads_per_core == 2,
+                 "threads per core must be 1 or 2");
+  const double smt = config.threads_per_core == 2 ? bench.smt_yield : 1.0;
+  return static_cast<double>(config.cores) * smt;
+}
+
+double parallel_speedup(const BenchmarkProfile& bench, double workers) {
+  TPCOOL_REQUIRE(workers >= 1.0, "need at least one worker");
+  const double alpha = bench.serial_fraction;
+  TPCOOL_REQUIRE(alpha >= 0.0 && alpha < 1.0, "serial fraction outside [0,1)");
+  const double w_eff = std::pow(workers, bench.scaling_exponent);
+  return 1.0 / (alpha + (1.0 - alpha) / w_eff);
+}
+
+double frequency_speed_factor(const BenchmarkProfile& bench, double freq_ghz) {
+  TPCOOL_REQUIRE(power::is_supported_frequency(freq_ghz),
+                 "unsupported DVFS frequency");
+  const double r = freq_ghz / kFmaxGhz;
+  const double m = bench.mem_intensity;
+  TPCOOL_REQUIRE(m >= 0.0 && m <= 1.0, "memory intensity outside [0,1]");
+  return (1.0 - m) * r + m * std::pow(r, 0.25);
+}
+
+double normalized_exec_time(const BenchmarkProfile& bench,
+                            const Configuration& config) {
+  const Configuration base = baseline_configuration();
+  const double s_base = parallel_speedup(bench, effective_workers(bench, base));
+  const double s_cfg =
+      parallel_speedup(bench, effective_workers(bench, config));
+  return (s_base / s_cfg) / frequency_speed_factor(bench, config.freq_ghz);
+}
+
+double core_utilization(const BenchmarkProfile& bench,
+                        const Configuration& config) {
+  return config.threads_per_core == 2 ? bench.smt_yield : 1.0;
+}
+
+}  // namespace tpcool::workload

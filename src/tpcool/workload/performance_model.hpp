@@ -1,0 +1,39 @@
+#pragma once
+/// \file performance_model.hpp
+/// \brief Execution-time model: Amdahl scaling with an SMT yield and a
+///        memory-intensity-dependent frequency sensitivity.
+///
+/// Normalized execution time (the paper's QoS metric, Fig. 3):
+///   T(cfg)/T(base) = [S(W_base)/S(W_cfg)] / F(f)
+/// with S(W) = 1/(α + (1−α)/W^γ), W = Nc·(smt_yield if 2 threads/core),
+/// and F(f) = (1−m)·(f/fmax) + m·(f/fmax)^0.25.
+
+#include "tpcool/workload/benchmark.hpp"
+#include "tpcool/workload/configuration.hpp"
+
+namespace tpcool::workload {
+
+/// Effective parallel workers of a configuration.
+[[nodiscard]] double effective_workers(const BenchmarkProfile& bench,
+                                       const Configuration& config);
+
+/// Amdahl speedup at W effective workers (sub-linear via γ).
+[[nodiscard]] double parallel_speedup(const BenchmarkProfile& bench,
+                                      double workers);
+
+/// Relative execution speed at frequency f (1.0 at fmax); memory-bound
+/// benchmarks are less sensitive to core frequency.
+[[nodiscard]] double frequency_speed_factor(const BenchmarkProfile& bench,
+                                            double freq_ghz);
+
+/// Execution time normalized to the baseline configuration (exactly 1.0 for
+/// the baseline itself; > 1 for any reduced configuration).
+[[nodiscard]] double normalized_exec_time(const BenchmarkProfile& bench,
+                                          const Configuration& config);
+
+/// Per-core utilization for the power model: 1.0 with one thread per core,
+/// the SMT yield with two (extra throughput costs proportional energy).
+[[nodiscard]] double core_utilization(const BenchmarkProfile& bench,
+                                      const Configuration& config);
+
+}  // namespace tpcool::workload

@@ -1,0 +1,132 @@
+// Tests for tpcool::core::RuntimeController — the §VII runtime reaction:
+// DVFS first when QoS allows it, valve opening otherwise, throttle last.
+
+#include <gtest/gtest.h>
+
+#include "tpcool/core/pipelines.hpp"
+#include "tpcool/core/runtime_controller.hpp"
+
+namespace tpcool::core {
+namespace {
+
+constexpr double kCoarseCell = 2.0e-3;
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest() : pipeline_(Approach::kProposed, kCoarseCell) {}
+
+  ScheduleDecision full_load_decision() {
+    const auto& bench = workload::worst_case_benchmark();
+    ScheduleDecision d;
+    d.point.config = {8, 2, 3.2};
+    d.point.norm_time = 1.0;
+    d.cores = {1, 2, 3, 4, 5, 6, 7, 8};
+    d.idle_state = power::CState::kPoll;
+    (void)bench;
+    return d;
+  }
+
+  ApproachPipeline pipeline_;
+};
+
+TEST_F(ControllerTest, NominalRunStaysCoolAndQuiet) {
+  // At the design limit of 85 °C the worst case never trips the controller.
+  RuntimeController controller(pipeline_.server(), {});
+  const ControlTrace trace = controller.run(
+      workload::worst_case_benchmark(), full_load_decision(),
+      workload::QoSRequirement{1.0});
+  EXPECT_FALSE(trace.emergency_seen);
+  EXPECT_FALSE(trace.qos_violated);
+  ASSERT_FALSE(trace.records.empty());
+  for (const ControlRecord& r : trace.records) {
+    EXPECT_EQ(r.action, ControlAction::kNone);
+    EXPECT_DOUBLE_EQ(r.freq_ghz, 3.2);
+  }
+}
+
+TEST_F(ControllerTest, TemperatureRisesMonotonicallyFromColdStart) {
+  RuntimeController::Config config;
+  config.max_steps = 10;
+  RuntimeController controller(pipeline_.server(), config);
+  const ControlTrace trace = controller.run(
+      workload::worst_case_benchmark(), full_load_decision(),
+      workload::QoSRequirement{1.0});
+  // The first couple of periods switch the boundary from a stagnant pool to
+  // developed boiling, so allow small dips; the overall trend must rise.
+  for (std::size_t i = 1; i < trace.records.size(); ++i) {
+    EXPECT_GE(trace.records[i].tcase_c, trace.records[i - 1].tcase_c - 1.5);
+  }
+  EXPECT_GT(trace.records.back().tcase_c,
+            trace.records.front().tcase_c + 0.5);
+}
+
+TEST_F(ControllerTest, TightLimitWithQosSlackLowersFrequencyFirst) {
+  RuntimeController::Config config;
+  config.tcase_limit_c = 45.0;  // artificially tight: forces emergencies
+  config.max_steps = 30;
+  RuntimeController controller(pipeline_.server(), config);
+  // 3x QoS slack: DVFS reduction is allowed before touching the valve.
+  const ControlTrace trace = controller.run(
+      workload::worst_case_benchmark(), full_load_decision(),
+      workload::QoSRequirement{3.0});
+  EXPECT_TRUE(trace.emergency_seen);
+  bool lowered = false;
+  for (const ControlRecord& r : trace.records) {
+    if (r.action == ControlAction::kLowerFrequency) lowered = true;
+    if (r.action == ControlAction::kRaiseFlow) {
+      // §VII: flow rises only once DVFS can no longer help within QoS.
+      EXPECT_TRUE(lowered);
+    }
+  }
+  EXPECT_TRUE(lowered);
+  EXPECT_LT(trace.records.back().freq_ghz, 3.2);
+}
+
+TEST_F(ControllerTest, TightLimitWithoutQosSlackOpensValve) {
+  RuntimeController::Config config;
+  config.tcase_limit_c = 45.0;
+  config.max_steps = 30;
+  RuntimeController controller(pipeline_.server(), config);
+  // 1x QoS: lowering the frequency would violate QoS → raise flow instead.
+  const ControlTrace trace = controller.run(
+      workload::worst_case_benchmark(), full_load_decision(),
+      workload::QoSRequirement{1.0});
+  EXPECT_TRUE(trace.emergency_seen);
+  bool raised_flow = false;
+  for (const ControlRecord& r : trace.records) {
+    EXPECT_NE(r.action, ControlAction::kLowerFrequency);
+    if (r.action == ControlAction::kRaiseFlow) raised_flow = true;
+  }
+  EXPECT_TRUE(raised_flow);
+  EXPECT_GT(trace.records.back().flow_kg_h, 7.0);
+}
+
+TEST_F(ControllerTest, ImpossibleLimitEndsInThrottle) {
+  RuntimeController::Config config;
+  config.tcase_limit_c = 32.0;  // below what any flow can reach
+  config.max_steps = 30;
+  RuntimeController controller(pipeline_.server(), config);
+  const ControlTrace trace = controller.run(
+      workload::worst_case_benchmark(), full_load_decision(),
+      workload::QoSRequirement{1.0});
+  EXPECT_TRUE(trace.emergency_seen);
+  EXPECT_TRUE(trace.qos_violated);
+  bool throttled = false;
+  for (const ControlRecord& r : trace.records) {
+    throttled |= (r.action == ControlAction::kThrottle);
+  }
+  EXPECT_TRUE(throttled);
+}
+
+TEST_F(ControllerTest, RejectsBadConfig) {
+  RuntimeController::Config bad;
+  bad.flow_steps_kg_h = {};
+  EXPECT_THROW(RuntimeController(pipeline_.server(), bad),
+               util::PreconditionError);
+  bad.flow_steps_kg_h = {10.0, 7.0};
+  EXPECT_THROW(RuntimeController(pipeline_.server(), bad),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tpcool::core

@@ -1,0 +1,139 @@
+// Tests for the cooling-technology baselines (air cooling, single-phase
+// cold plate) and the PUE accounting — the quantitative backdrop of the
+// paper's introduction.
+
+#include <gtest/gtest.h>
+
+#include "tpcool/cooling/air_cooling.hpp"
+#include "tpcool/cooling/chiller.hpp"
+#include "tpcool/cooling/cold_plate.hpp"
+#include "tpcool/cooling/pue.hpp"
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::cooling {
+namespace {
+
+// ------------------------------------------------------------ air cooling --
+
+TEST(AirCooling, FasterFanCoolsMoreAndCostsCubically) {
+  const AirCoolerDesign design;
+  const AirCoolerState half = air_cooler_at(design, 0.5);
+  const AirCoolerState full = air_cooler_at(design, 1.0);
+  EXPECT_LT(full.case_to_air_k_w, half.case_to_air_k_w);
+  EXPECT_NEAR(full.fan_power_w / half.fan_power_w, 8.0, 1e-9);
+}
+
+TEST(AirCooling, SpeedClampedToDesignLimits) {
+  const AirCoolerDesign design;
+  EXPECT_DOUBLE_EQ(air_cooler_at(design, 0.01).speed_frac,
+                   design.min_speed_frac);
+  EXPECT_DOUBLE_EQ(air_cooler_at(design, 5.0).speed_frac,
+                   design.max_speed_frac);
+}
+
+TEST(AirCooling, CaseTemperatureLinearInLoad) {
+  const AirCoolerState state = air_cooler_at(AirCoolerDesign{}, 1.0);
+  const double t40 = air_cooled_case_c(state, 40.0, 30.0);
+  const double t80 = air_cooled_case_c(state, 80.0, 30.0);
+  EXPECT_NEAR(t80 - 30.0, 2.0 * (t40 - 30.0), 1e-9);
+}
+
+TEST(AirCooling, FailsOnPowerHungryServers) {
+  // The paper's premise: air cooling cannot hold a power-hungry CPU at a
+  // tight case limit with realistic inlet air.
+  const AirCoolerDesign design;
+  const double speed = required_fan_speed(design, 80.0, 35.0, 50.0);
+  EXPECT_GT(speed, design.max_speed_frac);  // infeasible
+  // The same cooler easily handles a light load at a relaxed limit.
+  EXPECT_LE(required_fan_speed(design, 30.0, 25.0, 70.0),
+            design.max_speed_frac);
+}
+
+TEST(AirCooling, RequiredSpeedMonotoneInLoad) {
+  const AirCoolerDesign design;
+  double prev = 0.0;
+  for (const double q : {20.0, 35.0, 50.0, 65.0}) {
+    const double speed = required_fan_speed(design, q, 25.0, 75.0);
+    EXPECT_GE(speed, prev);
+    prev = speed;
+  }
+}
+
+// ------------------------------------------------------------- cold plate --
+
+TEST(ColdPlate, MoreFlowCoolsMore) {
+  const ColdPlateDesign design;
+  const double hot = cold_plate_case_c(cold_plate_at(design, 0.3), 70.0, 30.0);
+  const double cold = cold_plate_case_c(cold_plate_at(design, 1.5), 70.0, 30.0);
+  EXPECT_GT(hot, cold);
+}
+
+TEST(ColdPlate, PumpPowerCubicInFlow) {
+  const ColdPlateDesign design;
+  const ColdPlateState half = cold_plate_at(design, 0.5);
+  const ColdPlateState full = cold_plate_at(design, 1.0);
+  EXPECT_NEAR(full.pump_power_w / half.pump_power_w, 8.0, 1e-9);
+}
+
+TEST(ColdPlate, NeedsFarMoreWaterThanThermosyphon) {
+  // §II-A: two-phase cooling is motivated by "reduced mass flow-rates".
+  const ColdPlateDesign design;
+  const double frac = required_flow(design, 79.0, 30.0, 48.0);
+  EXPECT_LE(frac, design.max_flow_frac);
+  // At least several times the thermosyphon's 7 kg/h.
+  EXPECT_GT(design.nominal_flow_kg_h * frac, 3.0 * 7.0);
+}
+
+TEST(ColdPlate, HandlesWorstCaseLoad) {
+  // Single-phase DCLC works, it is just more expensive to run.
+  const ColdPlateDesign design;
+  EXPECT_LE(required_flow(design, 79.0, 30.0, 85.0), design.max_flow_frac);
+}
+
+// -------------------------------------------------------------------- PUE --
+
+TEST(Pue, DefinitionAndBounds) {
+  const FacilityPower p{100.0, 20.0, 10.0, 3.0};
+  EXPECT_NEAR(pue(p), 1.33, 1e-9);
+  EXPECT_GE(pue(p), 1.0);
+  EXPECT_THROW(pue(FacilityPower{0.0, 1.0, 0.0, 0.0}),
+               util::PreconditionError);
+}
+
+TEST(Pue, ThermosyphonFacilityNearPaperClaim) {
+  // The paper cites a PUE of 1.05 for the thermosyphon system of [8]:
+  // warm-water cooling makes the chiller almost free.
+  const ChillerModel chiller;
+  const double it = 70.0;
+  FacilityPower p;
+  p.it_w = it;
+  p.chiller_w = chiller.electrical_power_w(it, 30.0);
+  p.pumps_fans_w = 0.5;  // rack water circulation only, no fans
+  p.distribution_w = distribution_loss_w(it);
+  EXPECT_LT(pue(p), 1.12);
+  EXPECT_GT(pue(p), 1.0);
+}
+
+TEST(Pue, AirCooledFacilityMuchWorse) {
+  // Conventional air cooling: cold-air production at ~18 °C plus fans.
+  const ChillerModel chiller;
+  const double it = 70.0;
+  FacilityPower air;
+  air.it_w = it;
+  air.chiller_w = chiller.electrical_power_w(it, 18.0);
+  air.pumps_fans_w = air_cooler_at(AirCoolerDesign{}, 1.2).fan_power_w +
+                     8.0;  // CRAC blowers' share
+  air.distribution_w = distribution_loss_w(it);
+
+  FacilityPower syphon;
+  syphon.it_w = it;
+  syphon.chiller_w = chiller.electrical_power_w(it, 30.0);
+  syphon.pumps_fans_w = 0.5;
+  syphon.distribution_w = distribution_loss_w(it);
+
+  EXPECT_GT(pue(air), pue(syphon) + 0.1);
+  EXPECT_GT(cooling_fraction(air), cooling_fraction(syphon));
+}
+
+}  // namespace
+}  // namespace tpcool::cooling

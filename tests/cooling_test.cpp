@@ -1,0 +1,136 @@
+// Tests for tpcool::cooling — Eq. (1) accounting, the chiller COP model,
+// coolant-loop mixing, and the shared rack water loop.
+
+#include <gtest/gtest.h>
+
+#include "tpcool/cooling/chiller.hpp"
+#include "tpcool/cooling/coolant_loop.hpp"
+#include "tpcool/cooling/rack.hpp"
+#include "tpcool/materials/water.hpp"
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::cooling {
+namespace {
+
+// ------------------------------------------------------------------ Eq(1) --
+
+TEST(Eq1, MatchesMdotCpDeltaT) {
+  // P = V̇·ρ·c_w·ΔT ≡ ṁ·c_w·ΔT.
+  const double c_w = materials::water_capacity_rate_w_k(7.0, 30.0);
+  EXPECT_NEAR(thermal_lift_power_w(7.0, 6.0, 30.0), c_w * 6.0, 1e-9);
+}
+
+TEST(Eq1, PaperRatioSixVsEleven) {
+  // §VIII-B: ΔT of 6 °C vs 11 °C at the same flow → 45 % reduction.
+  const double p6 = thermal_lift_power_w(7.0, 6.0, 30.0);
+  const double p11 = thermal_lift_power_w(7.0, 11.0, 30.0);
+  EXPECT_NEAR(1.0 - p6 / p11, 0.4545, 0.02);
+}
+
+TEST(Eq1, RejectsNegativeInputs) {
+  EXPECT_THROW(thermal_lift_power_w(-1.0, 5.0, 30.0),
+               util::PreconditionError);
+  EXPECT_THROW(thermal_lift_power_w(7.0, -5.0, 30.0),
+               util::PreconditionError);
+}
+
+// -------------------------------------------------------------------- COP --
+
+TEST(Chiller, CopDecreasesWithColderSetpoint) {
+  const ChillerModel chiller;
+  EXPECT_GT(chiller.cop(30.0), chiller.cop(20.0));
+  EXPECT_GT(chiller.cop(20.0), chiller.cop(10.0));
+}
+
+TEST(Chiller, FreeCoolingAboveAmbient) {
+  const ChillerModel chiller;  // ambient 35 °C
+  EXPECT_DOUBLE_EQ(chiller.cop(40.0), chiller.max_cop);
+}
+
+TEST(Chiller, ElectricalPowerScalesWithLoad) {
+  const ChillerModel chiller;
+  const double p1 = chiller.electrical_power_w(40.0, 25.0);
+  const double p2 = chiller.electrical_power_w(80.0, 25.0);
+  EXPECT_NEAR(p2 - chiller.pump_overhead_w,
+              2.0 * (p1 - chiller.pump_overhead_w), 1e-9);
+}
+
+TEST(Chiller, WarmSetpointNearlyFree) {
+  // §VIII-B: "the chiller would need to consume much less power … even
+  // close to zero" with warm water. At 30 °C setpoint the electrical power
+  // is a small fraction of the heat moved.
+  const ChillerModel chiller;
+  const double p = chiller.electrical_power_w(60.0, 30.0);
+  EXPECT_LT(p, 0.15 * 60.0);
+}
+
+TEST(Chiller, RejectsNegativeLoad) {
+  EXPECT_THROW(ChillerModel{}.electrical_power_w(-1.0, 25.0),
+               util::PreconditionError);
+}
+
+// ------------------------------------------------------------ coolant loop --
+
+TEST(CoolantLoop, BranchReturnEnergyBalance) {
+  const CoolantBranch branch{7.0, 49.0};
+  const double c_w = materials::water_capacity_rate_w_k(7.0, 30.0);
+  EXPECT_NEAR(branch_return_c(branch, 30.0), 30.0 + 49.0 / c_w, 1e-9);
+}
+
+TEST(CoolantLoop, MixedReturnIsFlowWeighted) {
+  const CoolantBranch branches[2] = {{7.0, 0.0}, {7.0, 49.0}};
+  const double t_hot = branch_return_c(branches[1], 30.0);
+  EXPECT_NEAR(mixed_return_c(branches, 2, 30.0), 0.5 * (30.0 + t_hot), 1e-9);
+}
+
+TEST(CoolantLoop, TotalFlowSums) {
+  const CoolantBranch branches[3] = {{7.0, 0.0}, {10.0, 0.0}, {4.0, 0.0}};
+  EXPECT_DOUBLE_EQ(total_flow_kg_h(branches, 3), 21.0);
+}
+
+TEST(CoolantLoop, AllZeroFlowThrows) {
+  const CoolantBranch branches[1] = {{0.0, 10.0}};
+  EXPECT_THROW(mixed_return_c(branches, 1, 30.0), util::PreconditionError);
+}
+
+// ------------------------------------------------------------------- rack --
+
+TEST(Rack, SupplyIsMinimumOfServerMaxima) {
+  // §V: all thermosyphons share one chiller; the rack water temperature is
+  // capped by the most demanding server.
+  const std::vector<ServerDemand> demands{
+      {60.0, 35.0, 7.0}, {70.0, 25.0, 7.0}, {50.0, 30.0, 7.0}};
+  const RackCoolingState state = solve_rack_cooling(demands, ChillerModel{});
+  EXPECT_DOUBLE_EQ(state.supply_temp_c, 25.0);
+  EXPECT_DOUBLE_EQ(state.total_flow_kg_h, 21.0);
+  EXPECT_DOUBLE_EQ(state.total_heat_w, 180.0);
+  EXPECT_GT(state.return_temp_c, state.supply_temp_c);
+}
+
+TEST(Rack, ChillerPowersConsistent) {
+  const std::vector<ServerDemand> demands{{60.0, 30.0, 7.0},
+                                          {60.0, 30.0, 7.0}};
+  const ChillerModel chiller;
+  const RackCoolingState state = solve_rack_cooling(demands, chiller);
+  // Eq. (1) on the mixed loop equals the total heat (steady state).
+  EXPECT_NEAR(state.chiller_lift_power_w, state.total_heat_w, 1.0);
+  EXPECT_NEAR(state.chiller_electrical_w,
+              chiller.electrical_power_w(120.0, 30.0), 1e-9);
+}
+
+TEST(Rack, ColderDemandRaisesElectricalPower) {
+  const ChillerModel chiller;
+  const RackCoolingState warm =
+      solve_rack_cooling({{60.0, 30.0, 7.0}}, chiller);
+  const RackCoolingState cold =
+      solve_rack_cooling({{60.0, 15.0, 7.0}}, chiller);
+  EXPECT_GT(cold.chiller_electrical_w, warm.chiller_electrical_w);
+}
+
+TEST(Rack, EmptyRackThrows) {
+  EXPECT_THROW(solve_rack_cooling({}, ChillerModel{}),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tpcool::cooling

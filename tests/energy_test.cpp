@@ -1,0 +1,110 @@
+// Tests for tpcool::workload energy accounting.
+
+#include <gtest/gtest.h>
+
+#include "tpcool/floorplan/xeon_e5.hpp"
+#include "tpcool/mapping/config_select.hpp"
+#include "tpcool/power/package_power.hpp"
+#include "tpcool/util/error.hpp"
+#include "tpcool/workload/energy.hpp"
+
+namespace tpcool::workload {
+namespace {
+
+class EnergyTest : public ::testing::Test {
+ protected:
+  EnergyTest()
+      : fp_(floorplan::make_xeon_e5_floorplan()),
+        model_(fp_),
+        profiler_(model_) {}
+
+  floorplan::Floorplan fp_;
+  power::PackagePowerModel model_;
+  Profiler profiler_;
+};
+
+TEST_F(EnergyTest, EnergyIsPowerTimesTime) {
+  const auto profile =
+      profiler_.profile(find_benchmark("vips"), power::CState::kC1E);
+  for (const EnergyPoint& e : energy_profile(profile)) {
+    EXPECT_NEAR(e.norm_energy, e.power_w * e.norm_time, 1e-12);
+    EXPECT_NEAR(e.norm_edp, e.norm_energy * e.norm_time, 1e-12);
+    EXPECT_GT(e.norm_energy, 0.0);
+  }
+}
+
+TEST_F(EnergyTest, MinEnergySatisfiesQos) {
+  const auto profile =
+      profiler_.profile(find_benchmark("ferret"), power::CState::kC1E);
+  for (const QoSRequirement& qos : qos_levels()) {
+    const EnergyPoint e = min_energy_select(profile, qos);
+    EXPECT_TRUE(qos.satisfied_by(e.norm_time));
+    for (const ConfigPoint& p : profile) {
+      if (qos.satisfied_by(p.norm_time)) {
+        EXPECT_GE(p.power_w * p.norm_time, e.norm_energy - 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(EnergyTest, Algorithm1NearMinEnergyAtRelaxedQos) {
+  // Min-power and min-energy selections agree closely at relaxed QoS: the
+  // min-power config runs longer but the energy penalty is bounded.
+  const auto profile =
+      profiler_.profile(find_benchmark("x264"), power::CState::kC1E);
+  const QoSRequirement qos{3.0};
+  const auto algo1 = mapping::algorithm1_select(profile, qos);
+  const EnergyPoint best = min_energy_select(profile, qos);
+  EXPECT_LE(algo1.power_w * algo1.norm_time, 1.5 * best.norm_energy);
+}
+
+TEST_F(EnergyTest, PackingCostsEnergy) {
+  // Pack & Cap's high-frequency packing burns more energy than the
+  // min-energy configuration for most benchmarks at relaxed QoS.
+  const QoSRequirement qos{3.0};
+  int worse = 0, total = 0;
+  for (const auto& bench : parsec_benchmarks()) {
+    const auto profile = profiler_.profile(bench, power::CState::kPoll);
+    const auto packed = mapping::packcap_select(profile, qos);
+    const EnergyPoint best = min_energy_select(profile, qos);
+    if (packed.power_w * packed.norm_time > best.norm_energy * 1.05) ++worse;
+    ++total;
+  }
+  EXPECT_GT(worse, total / 2);
+}
+
+TEST_F(EnergyTest, RaceToIdleRewardsDeepSleep) {
+  const auto profile =
+      profiler_.profile(find_benchmark("swaptions"), power::CState::kC1E);
+  // fast = baseline, slow = half cores at min frequency.
+  const ConfigPoint* fast = nullptr;
+  const ConfigPoint* slow = nullptr;
+  for (const ConfigPoint& p : profile) {
+    if (p.config == baseline_configuration()) fast = &p;
+    if (p.config == Configuration{4, 2, 2.6}) slow = &p;
+  }
+  ASSERT_NE(fast, nullptr);
+  ASSERT_NE(slow, nullptr);
+  // Racing then parking in C6 beats racing then spinning in POLL.
+  const double deep = race_to_idle_ratio(
+      *fast, *slow, power::cstate_power_all8_w(power::CState::kC6, 3.2));
+  const double shallow = race_to_idle_ratio(
+      *fast, *slow, power::cstate_power_all8_w(power::CState::kPoll, 3.2));
+  EXPECT_LT(deep, shallow);
+  EXPECT_GT(deep, 0.0);
+}
+
+TEST_F(EnergyTest, RaceToIdleRejectsInvertedArguments) {
+  const auto profile =
+      profiler_.profile(find_benchmark("vips"), power::CState::kC1E);
+  const auto sorted = profiler_.profile_sorted_by_power(
+      find_benchmark("vips"), power::CState::kC1E);
+  (void)profile;
+  ConfigPoint fast = sorted.back();   // most power, fastest
+  ConfigPoint slow = sorted.front();  // least power, slowest
+  if (fast.norm_time > slow.norm_time) std::swap(fast, slow);
+  EXPECT_THROW(race_to_idle_ratio(slow, fast, 5.0), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tpcool::workload

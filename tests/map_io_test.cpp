@@ -1,0 +1,103 @@
+// Tests for tpcool::thermal map tooling: PGM export, differencing, and the
+// connected-component hot-spot census.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tpcool/thermal/map_io.hpp"
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::thermal {
+namespace {
+
+floorplan::GridSpec small_grid(std::size_t nx, std::size_t ny) {
+  floorplan::GridSpec g;
+  g.dx = 1e-3;
+  g.dy = 1e-3;
+  g.nx = nx;
+  g.ny = ny;
+  return g;
+}
+
+TEST(Pgm, HeaderAndPayloadSize) {
+  util::Grid2D<double> field(4, 3, 50.0);
+  std::ostringstream os;
+  write_pgm(os, field, 40.0, 60.0);
+  const std::string data = os.str();
+  EXPECT_EQ(data.rfind("P5\n4 3\n255\n", 0), 0u);
+  EXPECT_EQ(data.size(), std::string("P5\n4 3\n255\n").size() + 4 * 3);
+}
+
+TEST(Pgm, ScalesAndClamps) {
+  util::Grid2D<double> field(3, 1, 0.0);
+  field(0, 0) = 10.0;   // below scale -> 0
+  field(1, 0) = 55.0;   // mid-scale
+  field(2, 0) = 99.0;   // above scale -> 255
+  std::ostringstream os;
+  write_pgm(os, field, 50.0, 60.0);
+  const std::string data = os.str();
+  const std::size_t off = std::string("P5\n3 1\n255\n").size();
+  EXPECT_EQ(static_cast<unsigned char>(data[off + 0]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(data[off + 1]), 127u);
+  EXPECT_EQ(static_cast<unsigned char>(data[off + 2]), 255u);
+}
+
+TEST(MapDifference, CellWise) {
+  util::Grid2D<double> a(2, 2, 5.0), b(2, 2, 3.0);
+  b(1, 1) = 10.0;
+  const auto d = map_difference(a, b);
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), -5.0);
+  util::Grid2D<double> wrong(3, 2, 0.0);
+  EXPECT_THROW(map_difference(a, wrong), util::PreconditionError);
+}
+
+TEST(HotspotCensus, FindsSeparatedRegions) {
+  // Two disjoint hot blobs on a cold background.
+  util::Grid2D<double> field(8, 8, 40.0);
+  field(1, 1) = 70.0;
+  field(1, 2) = 68.0;   // connected to (1,1)
+  field(6, 6) = 75.0;   // separate region
+  const auto spots = hotspot_census(field, small_grid(8, 8), 60.0);
+  ASSERT_EQ(spots.size(), 2u);
+  EXPECT_DOUBLE_EQ(spots[0].peak_c, 75.0);  // sorted hottest first
+  EXPECT_EQ(spots[0].cells, 1u);
+  EXPECT_DOUBLE_EQ(spots[1].peak_c, 70.0);
+  EXPECT_EQ(spots[1].cells, 2u);
+}
+
+TEST(HotspotCensus, DiagonalIsNotConnected) {
+  util::Grid2D<double> field(4, 4, 40.0);
+  field(0, 0) = 70.0;
+  field(1, 1) = 70.0;  // only diagonal contact: 4-connectivity splits them
+  const auto spots = hotspot_census(field, small_grid(4, 4), 60.0);
+  EXPECT_EQ(spots.size(), 2u);
+}
+
+TEST(HotspotCensus, CentroidIsAreaMean) {
+  util::Grid2D<double> field(5, 5, 40.0);
+  field(2, 2) = 70.0;
+  field(3, 2) = 70.0;
+  const auto spots = hotspot_census(field, small_grid(5, 5), 60.0);
+  ASSERT_EQ(spots.size(), 1u);
+  EXPECT_NEAR(spots[0].centroid_x_m, 3.0e-3, 1e-9);  // between cells 2 and 3
+  EXPECT_NEAR(spots[0].centroid_y_m, 2.5e-3, 1e-9);
+}
+
+TEST(HotspotCensus, NoSpotsWhenAllCold) {
+  util::Grid2D<double> field(4, 4, 40.0);
+  EXPECT_TRUE(hotspot_census(field, small_grid(4, 4), 60.0).empty());
+}
+
+TEST(HotspotCensus, RelativeBandTracksMaximum) {
+  util::Grid2D<double> field(6, 6, 40.0);
+  field(2, 3) = 80.0;
+  field(4, 1) = 78.5;  // within 3 °C of the max
+  field(0, 0) = 60.0;  // far below the band
+  const auto spots = hotspot_census_relative(field, small_grid(6, 6), 3.0);
+  EXPECT_EQ(spots.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tpcool::thermal

@@ -1,0 +1,127 @@
+// Tests for the multi-application co-scheduler.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tpcool/core/multi_app.hpp"
+#include "tpcool/mapping/proposed.hpp"
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::core {
+namespace {
+
+class MultiAppTest : public ::testing::Test {
+ protected:
+  MultiAppTest() : server_(make_config()), scheduler_(server_, policy_) {}
+
+  static ServerConfig make_config() {
+    ServerConfig config;
+    config.stack.cell_size_m = 1.5e-3;
+    config.design.evaporator =
+        default_evaporator_geometry(thermosyphon::Orientation::kEastWest);
+    return config;
+  }
+
+  AppRequest request(const std::string& name, double qos) const {
+    return {&workload::find_benchmark(name), workload::QoSRequirement{qos}};
+  }
+
+  ServerModel server_;
+  mapping::ProposedPolicy policy_;
+  MultiAppScheduler scheduler_;
+};
+
+TEST_F(MultiAppTest, PartitionsCoresWithoutOverlap) {
+  const MultiAppSchedule plan = scheduler_.schedule(
+      {request("x264", 2.0), request("canneal", 2.0)});
+  ASSERT_EQ(plan.assignments.size(), 2u);
+  std::set<int> used;
+  int total = 0;
+  for (const AppAssignment& a : plan.assignments) {
+    EXPECT_EQ(static_cast<int>(a.cores.size()), a.config.cores);
+    for (const int id : a.cores) {
+      EXPECT_TRUE(used.insert(id).second) << "core assigned twice";
+    }
+    total += a.config.cores;
+  }
+  EXPECT_LE(total, 8);
+}
+
+TEST_F(MultiAppTest, EveryAppMeetsItsQos) {
+  const MultiAppSchedule plan = scheduler_.schedule(
+      {request("x264", 2.0), request("ferret", 3.0), request("vips", 3.0)});
+  const std::vector<double> qos{2.0, 3.0, 3.0};
+  for (std::size_t i = 0; i < plan.assignments.size(); ++i) {
+    const double t = workload::normalized_exec_time(
+        *plan.assignments[i].bench, plan.assignments[i].config);
+    EXPECT_LE(t, qos[i] + 1e-9) << plan.assignments[i].bench->name;
+  }
+}
+
+TEST_F(MultiAppTest, SharedCStateIsTheStrictest) {
+  // facesim tolerates no latency -> package idles must stay in POLL.
+  const MultiAppSchedule with_rt = scheduler_.schedule(
+      {request("facesim", 3.0), request("swaptions", 3.0)});
+  EXPECT_EQ(with_rt.idle_state, power::CState::kPoll);
+  // Two batch apps -> C1E.
+  const MultiAppSchedule batch = scheduler_.schedule(
+      {request("dedup", 3.0), request("swaptions", 3.0)});
+  EXPECT_EQ(batch.idle_state, power::CState::kC1E);
+}
+
+TEST_F(MultiAppTest, TightQosForcesBaselineScaleResources) {
+  // A single 1x app must receive all eight cores.
+  const MultiAppSchedule plan = scheduler_.schedule({request("x264", 1.0)});
+  ASSERT_EQ(plan.assignments.size(), 1u);
+  EXPECT_EQ(plan.assignments[0].config.cores, 8);
+}
+
+TEST_F(MultiAppTest, TwoTightAppsCannotFit) {
+  // Two applications that each need the whole CPU at 1x cannot co-run.
+  EXPECT_THROW(
+      scheduler_.schedule({request("x264", 1.0), request("facesim", 1.0)}),
+      util::PreconditionError);
+}
+
+TEST_F(MultiAppTest, UnitPowersCoverEveryUnit) {
+  const MultiAppSchedule plan = scheduler_.schedule(
+      {request("x264", 2.0), request("canneal", 3.0)});
+  for (int id = 1; id <= 8; ++id) {
+    EXPECT_TRUE(plan.unit_powers.count("core" + std::to_string(id)));
+  }
+  EXPECT_TRUE(plan.unit_powers.count("llc"));
+  EXPECT_TRUE(plan.unit_powers.count("memctrl"));
+  EXPECT_TRUE(plan.unit_powers.count("uncore_io"));
+  EXPECT_NEAR(plan.total_power_w,
+              floorplan::total_power(plan.unit_powers), 1e-9);
+}
+
+TEST_F(MultiAppTest, RunProducesSaneThermalResult) {
+  MultiAppSchedule plan;
+  const SimulationResult sim = scheduler_.run(
+      {request("x264", 2.0), request("streamcluster", 3.0)}, &plan);
+  EXPECT_NEAR(sim.total_power_w, plan.total_power_w, 1e-9);
+  EXPECT_GT(sim.die.max_c, sim.syphon.t_sat_c);
+  EXPECT_LE(sim.tcase_c, 85.0);
+}
+
+TEST_F(MultiAppTest, CoLocationCheaperThanTwoServers) {
+  // Consolidating two relaxed-QoS apps on one CPU costs less total power
+  // than the sum of two dedicated-server runs (one uncore instead of two).
+  const MultiAppSchedule both = scheduler_.schedule(
+      {request("canneal", 3.0), request("dedup", 3.0)});
+  const MultiAppSchedule only_a = scheduler_.schedule({request("canneal", 3.0)});
+  const MultiAppSchedule only_b = scheduler_.schedule({request("dedup", 3.0)});
+  EXPECT_LT(both.total_power_w,
+            only_a.total_power_w + only_b.total_power_w);
+}
+
+TEST_F(MultiAppTest, RejectsBadRequests) {
+  EXPECT_THROW(scheduler_.schedule({}), util::PreconditionError);
+  AppRequest null_bench;
+  EXPECT_THROW(scheduler_.schedule({null_bench}), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tpcool::core

@@ -1,0 +1,109 @@
+// Tests for the exhaustive oracle mapping policy, including the key
+// verification result: the proposed heuristic lands within a small margin
+// of the thermally optimal placement.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "tpcool/core/pipelines.hpp"
+#include "tpcool/mapping/exhaustive.hpp"
+#include "tpcool/mapping/proposed.hpp"
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::mapping {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  floorplan::Floorplan fp_ = floorplan::make_xeon_e5_floorplan();
+};
+
+TEST_F(OracleTest, SubsetEnumerationCounts) {
+  EXPECT_EQ(core_subsets(fp_, 1).size(), 8u);
+  EXPECT_EQ(core_subsets(fp_, 2).size(), 28u);
+  EXPECT_EQ(core_subsets(fp_, 4).size(), 70u);
+  EXPECT_EQ(core_subsets(fp_, 8).size(), 1u);
+  EXPECT_THROW(core_subsets(fp_, 0), util::PreconditionError);
+  EXPECT_THROW(core_subsets(fp_, 9), util::PreconditionError);
+}
+
+TEST_F(OracleTest, SubsetsAreDistinctAndValid) {
+  const auto subsets = core_subsets(fp_, 3);
+  std::set<std::vector<int>> unique(subsets.begin(), subsets.end());
+  EXPECT_EQ(unique.size(), subsets.size());
+  for (const auto& subset : subsets) {
+    EXPECT_EQ(subset.size(), 3u);
+    for (const int id : subset) {
+      EXPECT_GE(id, 1);
+      EXPECT_LE(id, 8);
+    }
+  }
+}
+
+TEST_F(OracleTest, PicksTheCheapestSubset) {
+  // Synthetic cost: prefer low core-id sums; the oracle must find {1,2}.
+  ExhaustivePolicy oracle([](const std::vector<int>& cores) {
+    double cost = 0.0;
+    for (const int id : cores) cost += id;
+    return cost;
+  });
+  MappingContext context;
+  context.floorplan = &fp_;
+  context.cores_needed = 2;
+  const std::vector<int> best = oracle.select_cores(context);
+  EXPECT_EQ(std::set<int>(best.begin(), best.end()), std::set<int>({1, 2}));
+  EXPECT_DOUBLE_EQ(oracle.best_cost(), 3.0);
+  EXPECT_EQ(oracle.evaluations(), 28u);
+}
+
+TEST_F(OracleTest, NullEvaluatorRejected) {
+  EXPECT_THROW(ExhaustivePolicy(PlacementEvaluator{}),
+               util::PreconditionError);
+}
+
+TEST_F(OracleTest, ProposedHeuristicNearThermalOptimum) {
+  // The headline verification: at 4 active cores with deep idle states, the
+  // proposed one-core-per-channel-row heuristic is within 1.5 °C of the
+  // exhaustive optimum found by 70 coupled simulations.
+  core::ApproachPipeline pipeline(core::Approach::kProposed, 2.0e-3);
+  core::ServerModel& server = pipeline.server();
+  const auto& bench = workload::find_benchmark("x264");
+  const workload::Configuration config{4, 2, 3.2};
+
+  std::map<std::vector<int>, double> cache;
+  ExhaustivePolicy oracle([&](const std::vector<int>& cores) {
+    const auto [it, inserted] = cache.try_emplace(cores, 0.0);
+    if (inserted) {
+      it->second =
+          server.simulate(bench, config, cores, power::CState::kC1E)
+              .die.max_c;
+    }
+    return it->second;
+  });
+
+  MappingContext context;
+  context.floorplan = &server.floorplan();
+  context.orientation = server.design().evaporator.orientation;
+  context.idle_state = power::CState::kC1E;
+  context.cores_needed = 4;
+
+  const std::vector<int> best = oracle.select_cores(context);
+  const double optimal = oracle.best_cost();
+
+  const std::vector<int> heuristic =
+      ProposedPolicy().select_cores(context);
+  std::vector<int> sorted = heuristic;
+  std::sort(sorted.begin(), sorted.end());
+  const double heuristic_cost =
+      server.simulate(bench, config, heuristic, power::CState::kC1E)
+          .die.max_c;
+
+  EXPECT_GE(heuristic_cost, optimal - 1e-9);    // oracle is a lower bound
+  EXPECT_LE(heuristic_cost, optimal + 1.5);     // ...and we are close to it
+  EXPECT_EQ(best.size(), 4u);
+}
+
+}  // namespace
+}  // namespace tpcool::mapping

@@ -1,0 +1,236 @@
+// Acceptance tests: the qualitative claims of every paper table/figure
+// (DESIGN.md §4). These run the same experiment code as the bench harness,
+// on a moderately coarse grid for speed; all orderings are grid-stable.
+
+#include <gtest/gtest.h>
+
+#include "tpcool/core/experiment.hpp"
+
+namespace tpcool::core {
+namespace {
+
+ExperimentOptions fast_options() {
+  ExperimentOptions options;
+  options.cell_size_m = 1.0e-3;
+  options.max_benchmarks = 6;
+  return options;
+}
+
+// ------------------------------------------------------------------ Fig. 2 --
+
+TEST(PaperFig2, DieAmplifiesPackageProfile) {
+  const Fig2Result r = run_fig2_motivation(fast_options());
+  // Paper: die 66.1/55.9/6.6 vs package 46.4/42.9/0.5 — the die hot spot
+  // and spatial gradient are a scaled-up version of the package's.
+  EXPECT_GT(r.die.max_c, r.package.max_c + 10.0);
+  EXPECT_GT(r.die.avg_c, r.package.avg_c + 5.0);
+  EXPECT_GT(r.die.grad_max_c_per_mm, 3.0 * r.package.grad_max_c_per_mm);
+  // Magnitudes in the paper's regime (±15 °C band).
+  EXPECT_NEAR(r.die.max_c, 66.1, 15.0);
+  EXPECT_NEAR(r.package.max_c, 46.4, 12.0);
+  EXPECT_GT(r.die.grad_max_c_per_mm, 3.0);
+}
+
+// ------------------------------------------------------------------ Fig. 5 --
+
+TEST(PaperFig5, EastWestOrientationWins) {
+  const auto rows = run_fig5_orientation(fast_options());
+  ASSERT_EQ(rows.size(), 2u);
+  const Fig5Row& d1 = rows[0];  // east-west
+  const Fig5Row& d2 = rows[1];  // north-south
+  ASSERT_EQ(d1.orientation, thermosyphon::Orientation::kEastWest);
+  // Design 1 achieves lower hot spots (paper: 52.7 vs 53.5 package,
+  // 73.2 vs 79.4 die).
+  EXPECT_LT(d1.die.max_c, d2.die.max_c);
+  EXPECT_LT(d1.package.max_c, d2.package.max_c);
+  EXPECT_LE(d1.die.grad_max_c_per_mm, d2.die.grad_max_c_per_mm + 0.05);
+}
+
+// ------------------------------------------------------------------ Fig. 6 --
+
+class PaperFig6 : public ::testing::Test {
+ protected:
+  static const std::vector<Fig6Row>& rows() {
+    static const std::vector<Fig6Row> r = run_fig6_scenarios(fast_options());
+    return r;
+  }
+  static const Fig6Row& row(int scenario, power::CState idle) {
+    for (const Fig6Row& r : rows()) {
+      if (r.scenario == scenario && r.idle_state == idle) return r;
+    }
+    throw std::logic_error("missing Fig.6 row");
+  }
+};
+
+TEST_F(PaperFig6, ScenarioCoreSetsMatchFloorplan) {
+  EXPECT_EQ(fig6_scenario_cores(1), (std::vector<int>{5, 4, 7, 2}));
+  EXPECT_EQ(fig6_scenario_cores(2), (std::vector<int>{5, 4, 1, 8}));
+  EXPECT_EQ(fig6_scenario_cores(3), (std::vector<int>{5, 1, 6, 2}));
+}
+
+TEST_F(PaperFig6, PollOrderingScenario2Best) {
+  // Paper θmax @POLL: s2 (65.0) < s1 (68.2) < s3 (77.6).
+  const double s1 = row(1, power::CState::kPoll).die.max_c;
+  const double s2 = row(2, power::CState::kPoll).die.max_c;
+  const double s3 = row(3, power::CState::kPoll).die.max_c;
+  EXPECT_LT(s2, s1);
+  EXPECT_LT(s1, s3);
+}
+
+TEST_F(PaperFig6, C1OrderingScenario1Best) {
+  // Paper θmax @C1: s1 (57.1) < s2 (64.2) < s3 (73.3) — the crossover that
+  // motivates C-state-aware mapping.
+  const double s1 = row(1, power::CState::kC1).die.max_c;
+  const double s2 = row(2, power::CState::kC1).die.max_c;
+  const double s3 = row(3, power::CState::kC1).die.max_c;
+  EXPECT_LT(s1, s2);
+  EXPECT_LT(s2, s3);
+}
+
+TEST_F(PaperFig6, DeeperIdleStateAlwaysCooler) {
+  for (int scenario = 1; scenario <= 3; ++scenario) {
+    EXPECT_LT(row(scenario, power::CState::kC1).die.max_c,
+              row(scenario, power::CState::kPoll).die.max_c);
+    EXPECT_LT(row(scenario, power::CState::kC1).die.avg_c,
+              row(scenario, power::CState::kPoll).die.avg_c);
+  }
+}
+
+TEST_F(PaperFig6, ClusteredHasWorstGradient) {
+  // Paper ∇θmax: scenario 3 is by far the worst (6.5–6.8 vs 1.5–2.2).
+  // Scenario 1 vs 2 are close in the paper too, so compare with a margin.
+  for (const power::CState idle : {power::CState::kPoll, power::CState::kC1}) {
+    EXPECT_GE(row(3, idle).die.grad_max_c_per_mm,
+              row(1, idle).die.grad_max_c_per_mm - 0.05);
+    EXPECT_GE(row(3, idle).die.grad_max_c_per_mm,
+              row(2, idle).die.grad_max_c_per_mm - 0.3);
+  }
+  EXPECT_GT(row(3, power::CState::kC1).die.grad_max_c_per_mm,
+            row(1, power::CState::kC1).die.grad_max_c_per_mm);
+}
+
+// ---------------------------------------------------------------- Table II --
+
+class PaperTable2 : public ::testing::Test {
+ protected:
+  static const std::vector<Table2Row>& rows() {
+    static const std::vector<Table2Row> r = run_table2(fast_options());
+    return r;
+  }
+  static const Table2Row& row(Approach approach, double qos) {
+    for (const Table2Row& r : rows()) {
+      if (r.approach == approach && r.qos_factor == qos) return r;
+    }
+    throw std::logic_error("missing Table II row");
+  }
+};
+
+TEST_F(PaperTable2, ProposedBeatsBothBaselinesEverywhere) {
+  for (const double qos : {1.0, 2.0, 3.0}) {
+    const Table2Row& p = row(Approach::kProposed, qos);
+    const Table2Row& b9 = row(Approach::kSoaBalancing, qos);
+    const Table2Row& b7 = row(Approach::kSoaInletFirst, qos);
+    EXPECT_LE(p.die_max_c, b9.die_max_c + 1e-9) << qos;
+    EXPECT_LE(p.die_max_c, b7.die_max_c + 1e-9) << qos;
+    // At 1x the gradient difference comes from the design alone and is
+    // within the grid's discretization noise — allow a small epsilon there.
+    const double grad_eps = qos == 1.0 ? 0.2 : 1e-9;
+    EXPECT_LE(p.die_grad_c_per_mm, b9.die_grad_c_per_mm + grad_eps) << qos;
+    EXPECT_LE(p.die_grad_c_per_mm, b7.die_grad_c_per_mm + grad_eps) << qos;
+    EXPECT_LE(p.package_max_c, b9.package_max_c + 0.1) << qos;
+  }
+}
+
+TEST_F(PaperTable2, InletFirstIsTheWorstMapping) {
+  // §VIII-A: "[7], on average, provides the worst results".
+  for (const double qos : {2.0, 3.0}) {
+    EXPECT_GE(row(Approach::kSoaInletFirst, qos).die_max_c,
+              row(Approach::kSoaBalancing, qos).die_max_c - 1e-9);
+    EXPECT_GE(row(Approach::kSoaInletFirst, qos).die_grad_c_per_mm,
+              row(Approach::kSoaBalancing, qos).die_grad_c_per_mm - 1e-9);
+  }
+}
+
+TEST_F(PaperTable2, BaselinesIdenticalAtQos1) {
+  // At 1x everything runs the full configuration; the two SoA pipelines
+  // differ only in mapping, which is irrelevant with all cores active.
+  const Table2Row& b9 = row(Approach::kSoaBalancing, 1.0);
+  const Table2Row& b7 = row(Approach::kSoaInletFirst, 1.0);
+  EXPECT_NEAR(b9.die_max_c, b7.die_max_c, 1e-6);
+  EXPECT_NEAR(b9.die_grad_c_per_mm, b7.die_grad_c_per_mm, 1e-6);
+}
+
+TEST_F(PaperTable2, DesignAloneHelpsAtQos1) {
+  // At 1x the only difference between Proposed and the SoA pipelines is
+  // the thermosyphon design itself (§VIII-A).
+  EXPECT_LT(row(Approach::kProposed, 1.0).die_max_c,
+            row(Approach::kSoaBalancing, 1.0).die_max_c);
+}
+
+TEST_F(PaperTable2, RelaxedQosCoolsTheProposedSystem) {
+  const double q1 = row(Approach::kProposed, 1.0).die_max_c;
+  const double q2 = row(Approach::kProposed, 2.0).die_max_c;
+  const double q3 = row(Approach::kProposed, 3.0).die_max_c;
+  EXPECT_GT(q1, q2);
+  EXPECT_GE(q2, q3 - 1e-9);
+}
+
+TEST_F(PaperTable2, HotSpotReductionGrowsWithQosRelaxation) {
+  // The paper's headline: up to ~10 °C hot-spot reduction, largest at
+  // relaxed QoS where the mapping has freedom.
+  const double gap1 = row(Approach::kSoaBalancing, 1.0).die_max_c -
+                      row(Approach::kProposed, 1.0).die_max_c;
+  const double gap3 = row(Approach::kSoaBalancing, 3.0).die_max_c -
+                      row(Approach::kProposed, 3.0).die_max_c;
+  EXPECT_GT(gap3, gap1);
+  EXPECT_GE(gap3, 5.0);   // "up to 10 °C" — at least half of it on average
+  EXPECT_LE(gap3, 25.0);  // and not absurdly more
+}
+
+TEST_F(PaperTable2, GradientReductionAtLeastAThird) {
+  // Paper: up to 45 % reduction of the maximum spatial gradient.
+  const double soa = row(Approach::kSoaBalancing, 3.0).die_grad_c_per_mm;
+  const double prop = row(Approach::kProposed, 3.0).die_grad_c_per_mm;
+  EXPECT_LE(prop, soa * 0.67);
+}
+
+TEST_F(PaperTable2, ProposedSavesPower) {
+  for (const double qos : {2.0, 3.0}) {
+    EXPECT_LT(row(Approach::kProposed, qos).avg_power_w,
+              row(Approach::kSoaBalancing, qos).avg_power_w);
+    EXPECT_LT(row(Approach::kProposed, qos).avg_water_dt_k,
+              row(Approach::kSoaBalancing, qos).avg_water_dt_k);
+  }
+}
+
+// ------------------------------------------------------------------ Fig. 7 --
+
+TEST(PaperFig7, ProposedMapIsCooler) {
+  ExperimentOptions options = fast_options();
+  const Fig7Result r = run_fig7_maps(options);
+  // Paper: 71.5 °C vs 78.2 °C at 2x QoS.
+  EXPECT_LT(r.proposed_max_c, r.soa_max_c - 3.0);
+  EXPECT_TRUE(r.proposed_map_c.same_shape(r.soa_map_c));
+  EXPECT_EQ(r.proposed_map_c.nx(), r.grid.nx);
+}
+
+// ---------------------------------------------------------------- §VIII-B --
+
+TEST(PaperCoolingPower, SoaNeedsColderWaterAndMoreChillerPower) {
+  const CoolingPowerResult r = run_cooling_power(fast_options());
+  // Paper: the SoA needs 20 °C water (vs 30 °C) for the same hot spot.
+  EXPECT_DOUBLE_EQ(r.proposed_water_c, 30.0);
+  EXPECT_LT(r.soa_water_c, 26.0);
+  EXPECT_GT(r.soa_water_c, 4.0);
+  // Loop ΔT: paper reports 6 °C vs 11 °C — ours must preserve the ordering
+  // and a substantial gap.
+  EXPECT_LT(r.proposed_loop_dt_k, r.soa_loop_dt_k);
+  EXPECT_GT(r.soa_loop_dt_k / r.proposed_loop_dt_k, 1.3);
+  // Chiller power: ≥45 % on the COP-based electrical model (the paper's
+  // "real scenario" argument), ≥30 % on the raw Eq.-1 lift accounting.
+  EXPECT_GE(r.electrical_reduction_pct, 45.0);
+  EXPECT_GE(r.lift_reduction_pct, 30.0);
+}
+
+}  // namespace
+}  // namespace tpcool::core

@@ -1,0 +1,215 @@
+// Tests for tpcool::power — Table I C-states, core power scaling, the uncore
+// model (§IV-C2) and the package power assembly, including the paper's
+// 40.5–79.3 W package-power span.
+
+#include <gtest/gtest.h>
+
+#include "tpcool/floorplan/xeon_e5.hpp"
+#include "tpcool/power/core_power.hpp"
+#include "tpcool/power/cstates.hpp"
+#include "tpcool/power/package_power.hpp"
+#include "tpcool/power/uncore_power.hpp"
+#include "tpcool/util/error.hpp"
+#include "tpcool/workload/profiler.hpp"
+
+namespace tpcool::power {
+namespace {
+
+// ---------------------------------------------------------------- Table I --
+
+TEST(CStates, TableIValuesExactAtMeasuredPoints) {
+  EXPECT_DOUBLE_EQ(cstate_power_all8_w(CState::kPoll, 2.6), 27.0);
+  EXPECT_DOUBLE_EQ(cstate_power_all8_w(CState::kPoll, 2.9), 32.0);
+  EXPECT_DOUBLE_EQ(cstate_power_all8_w(CState::kPoll, 3.2), 40.0);
+  EXPECT_DOUBLE_EQ(cstate_power_all8_w(CState::kC1, 2.6), 14.0);
+  EXPECT_DOUBLE_EQ(cstate_power_all8_w(CState::kC1, 2.9), 15.0);
+  EXPECT_DOUBLE_EQ(cstate_power_all8_w(CState::kC1, 3.2), 17.0);
+  EXPECT_DOUBLE_EQ(cstate_power_all8_w(CState::kC1E, 2.6), 9.0);
+  EXPECT_DOUBLE_EQ(cstate_power_all8_w(CState::kC1E, 3.2), 9.0);
+}
+
+TEST(CStates, TableILatencies) {
+  EXPECT_DOUBLE_EQ(cstate_latency_us(CState::kPoll), 0.0);
+  EXPECT_DOUBLE_EQ(cstate_latency_us(CState::kC1), 2.0);
+  EXPECT_DOUBLE_EQ(cstate_latency_us(CState::kC1E), 10.0);
+}
+
+TEST(CStates, DeeperStatesUseLessPower) {
+  for (const double f : core_frequency_levels()) {
+    EXPECT_GT(cstate_power_all8_w(CState::kPoll, f),
+              cstate_power_all8_w(CState::kC1, f));
+    EXPECT_GT(cstate_power_all8_w(CState::kC1, f),
+              cstate_power_all8_w(CState::kC1E, f));
+    EXPECT_GT(cstate_power_all8_w(CState::kC1E, f),
+              cstate_power_all8_w(CState::kC3, f));
+    EXPECT_GT(cstate_power_all8_w(CState::kC3, f),
+              cstate_power_all8_w(CState::kC6, f));
+  }
+}
+
+TEST(CStates, DeeperStatesHaveLargerLatency) {
+  const auto& states = all_cstates();
+  for (std::size_t i = 1; i < states.size(); ++i) {
+    EXPECT_GT(cstate_latency_us(states[i]), cstate_latency_us(states[i - 1]));
+  }
+}
+
+TEST(CStates, PerCoreIsOneEighth) {
+  EXPECT_DOUBLE_EQ(cstate_power_per_core_w(CState::kPoll, 3.2), 5.0);
+  EXPECT_DOUBLE_EQ(cstate_power_per_core_w(CState::kC1E, 2.6), 9.0 / 8.0);
+}
+
+TEST(CStates, SelectionByTolerableLatency) {
+  EXPECT_EQ(deepest_cstate_within(0.0), CState::kPoll);
+  EXPECT_EQ(deepest_cstate_within(1.9), CState::kPoll);
+  EXPECT_EQ(deepest_cstate_within(2.0), CState::kC1);
+  EXPECT_EQ(deepest_cstate_within(10.0), CState::kC1E);
+  EXPECT_EQ(deepest_cstate_within(1000.0), CState::kC6);
+  EXPECT_THROW(deepest_cstate_within(-1.0), util::PreconditionError);
+}
+
+// --------------------------------------------------------------- core pwr --
+
+TEST(CorePower, SupportedFrequencies) {
+  EXPECT_TRUE(is_supported_frequency(2.6));
+  EXPECT_TRUE(is_supported_frequency(2.9));
+  EXPECT_TRUE(is_supported_frequency(3.2));
+  EXPECT_FALSE(is_supported_frequency(3.0));
+  EXPECT_THROW(core_voltage_v(3.0), util::PreconditionError);
+}
+
+TEST(CorePower, VoltageIncreasesWithFrequency) {
+  EXPECT_LT(core_voltage_v(2.6), core_voltage_v(2.9));
+  EXPECT_LT(core_voltage_v(2.9), core_voltage_v(3.2));
+}
+
+TEST(CorePower, DynamicPowerScalesWithFV2) {
+  const double p26 = dynamic_core_power_w(0.5, 1.0, 2.6);
+  const double p32 = dynamic_core_power_w(0.5, 1.0, 3.2);
+  const double expected_ratio =
+      (3.2 * 1.10 * 1.10) / (2.6 * 0.90 * 0.90);
+  EXPECT_NEAR(p32 / p26, expected_ratio, 1e-12);
+}
+
+TEST(CorePower, ActiveIncludesPollFloor) {
+  const double active = active_core_power_w(0.4, 1.0, 3.2);
+  EXPECT_GT(active, cstate_power_per_core_w(CState::kPoll, 3.2));
+  EXPECT_NEAR(active - dynamic_core_power_w(0.4, 1.0, 3.2),
+              cstate_power_per_core_w(CState::kPoll, 3.2), 1e-12);
+}
+
+TEST(CorePower, RejectsBadUtilization) {
+  EXPECT_THROW(dynamic_core_power_w(0.4, 0.0, 3.2), util::PreconditionError);
+  EXPECT_THROW(dynamic_core_power_w(0.4, 2.5, 3.2), util::PreconditionError);
+  EXPECT_THROW(dynamic_core_power_w(-0.1, 1.0, 3.2), util::PreconditionError);
+}
+
+// ------------------------------------------------------------- uncore pwr --
+
+TEST(UncorePower, PaperEndpoints) {
+  // §IV-C2: 9 W static; 8 W span from 1.2 to 2.8 GHz.
+  EXPECT_DOUBLE_EQ(uncore_mcio_power_w(1.2), 9.0);
+  EXPECT_DOUBLE_EQ(uncore_mcio_power_w(2.8), 17.0);
+  EXPECT_DOUBLE_EQ(uncore_mcio_power_w(2.0), 13.0);
+}
+
+TEST(UncorePower, LlcCappedAtTwoWatts) {
+  // §IV-C2: 2 W worst case for the 25 MB LLC.
+  EXPECT_DOUBLE_EQ(llc_power_w(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(llc_power_w(1.0), 2.0);
+  EXPECT_THROW(llc_power_w(1.5), util::PreconditionError);
+}
+
+TEST(UncorePower, GovernorMapSpansUncoreRange) {
+  EXPECT_DOUBLE_EQ(uncore_frequency_for_core_ghz(2.6), 2.0);
+  EXPECT_DOUBLE_EQ(uncore_frequency_for_core_ghz(3.2), 2.8);
+  EXPECT_LE(uncore_frequency_for_core_ghz(3.2), kUncoreFreqMaxGhz);
+}
+
+TEST(UncorePower, OutOfRangeThrows) {
+  EXPECT_THROW(uncore_mcio_power_w(1.0), util::PreconditionError);
+  EXPECT_THROW(uncore_mcio_power_w(3.0), util::PreconditionError);
+}
+
+// ---------------------------------------------------------------- package --
+
+class PackagePowerTest : public ::testing::Test {
+ protected:
+  floorplan::Floorplan fp_ = floorplan::make_xeon_e5_floorplan();
+  PackagePowerModel model_{fp_};
+};
+
+TEST_F(PackagePowerTest, BreakdownMatchesUnitPowers) {
+  PackagePowerRequest req;
+  req.active_cores = {1, 4, 5};
+  req.c_eff_w_per_ghz_v2 = 0.45;
+  req.utilization = 1.2;
+  req.freq_ghz = 2.9;
+  req.idle_state = CState::kC1;
+  req.llc_activity = 0.5;
+  const PackagePowerBreakdown b = model_.breakdown(req);
+  const floorplan::UnitPowers powers = model_.unit_powers(req);
+  EXPECT_NEAR(b.total_w(), floorplan::total_power(powers), 1e-9);
+}
+
+TEST_F(PackagePowerTest, ActiveCoresGetMorePowerThanIdle) {
+  PackagePowerRequest req;
+  req.active_cores = {2};
+  req.idle_state = CState::kC1;
+  const floorplan::UnitPowers powers = model_.unit_powers(req);
+  EXPECT_GT(powers.at("core2"), powers.at("core1"));
+  EXPECT_GT(powers.at("core2"), powers.at("core7"));
+}
+
+TEST_F(PackagePowerTest, DeeperIdleStateReducesTotal) {
+  PackagePowerRequest req;
+  req.active_cores = {1, 2};
+  req.idle_state = CState::kPoll;
+  const double poll = model_.breakdown(req).total_w();
+  req.idle_state = CState::kC1E;
+  const double c1e = model_.breakdown(req).total_w();
+  EXPECT_GT(poll, c1e);
+  // 6 idle cores moving POLL→C1E at 3.2 GHz saves 6·(5 − 1.125) W.
+  EXPECT_NEAR(poll - c1e, 6.0 * (5.0 - 9.0 / 8.0), 1e-9);
+}
+
+TEST_F(PackagePowerTest, RejectsDuplicateOrBadCores) {
+  PackagePowerRequest req;
+  req.active_cores = {1, 1};
+  EXPECT_THROW(model_.breakdown(req), util::PreconditionError);
+  req.active_cores = {0};
+  EXPECT_THROW(model_.breakdown(req), util::PreconditionError);
+  req.active_cores = {9};
+  EXPECT_THROW(model_.breakdown(req), util::PreconditionError);
+  req.active_cores = {};
+  EXPECT_THROW(model_.breakdown(req), util::PreconditionError);
+}
+
+TEST_F(PackagePowerTest, PaperPackagePowerRange) {
+  // §V: "the total package power consumption ranges from 40.5 W to 79.3 W
+  // among all configurations and applications". Our calibrated model must
+  // reproduce that span closely (idle cores at POLL, as measured).
+  workload::Profiler profiler(model_);
+  const auto [lo, hi] = profiler.package_power_range(CState::kPoll);
+  EXPECT_NEAR(lo, 40.5, 3.5);
+  EXPECT_NEAR(hi, 79.3, 3.5);
+}
+
+TEST_F(PackagePowerTest, WorstCaseIsFullLoadAtFmax) {
+  workload::Profiler profiler(model_);
+  const auto& bench = workload::worst_case_benchmark();
+  double best = 0.0;
+  workload::Configuration best_cfg;
+  for (const auto& p : profiler.profile(bench, CState::kPoll)) {
+    if (p.power_w > best) {
+      best = p.power_w;
+      best_cfg = p.config;
+    }
+  }
+  EXPECT_EQ(best_cfg.cores, 8);
+  EXPECT_EQ(best_cfg.threads_per_core, 2);
+  EXPECT_DOUBLE_EQ(best_cfg.freq_ghz, 3.2);
+}
+
+}  // namespace
+}  // namespace tpcool::power

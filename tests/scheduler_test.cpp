@@ -1,0 +1,135 @@
+// Tests for tpcool::core::Scheduler and the approach pipelines — Algorithm 1
+// end to end, C-state management, and the rack coordinator.
+
+#include <gtest/gtest.h>
+
+#include "tpcool/core/pipelines.hpp"
+#include "tpcool/core/rack_coordinator.hpp"
+#include "tpcool/util/error.hpp"
+#include "tpcool/workload/performance_model.hpp"
+
+namespace tpcool::core {
+namespace {
+
+constexpr double kCoarseCell = 1.5e-3;
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  ApproachPipeline proposed_{Approach::kProposed, kCoarseCell};
+  ApproachPipeline soa_{Approach::kSoaBalancing, kCoarseCell};
+};
+
+TEST_F(SchedulerTest, DecisionMeetsQos) {
+  for (const auto& bench : workload::parsec_benchmarks()) {
+    for (const auto& qos : workload::qos_levels()) {
+      const ScheduleDecision d = proposed_.scheduler().schedule(bench, qos);
+      EXPECT_TRUE(qos.satisfied_by(d.point.norm_time))
+          << bench.name << " @" << qos.factor;
+      EXPECT_EQ(static_cast<int>(d.cores.size()), d.point.config.cores);
+    }
+  }
+}
+
+TEST_F(SchedulerTest, QosOneSelectsBaselineEverywhere) {
+  // §VIII: "when no QoS degradation is allowed, all approaches run the
+  // workload with fmax and maximum number of available cores and threads".
+  const workload::QoSRequirement qos{1.0};
+  for (const auto& bench : workload::parsec_benchmarks()) {
+    EXPECT_EQ(proposed_.scheduler().schedule(bench, qos).point.config,
+              workload::baseline_configuration());
+    EXPECT_EQ(soa_.scheduler().schedule(bench, qos).point.config,
+              workload::baseline_configuration());
+  }
+}
+
+TEST_F(SchedulerTest, ProposedManagesCstatesByTolerableLatency) {
+  const workload::QoSRequirement qos{3.0};
+  // facesim tolerates no latency -> POLL; swaptions tolerates 10 µs -> C1E.
+  const ScheduleDecision rt = proposed_.scheduler().schedule(
+      workload::find_benchmark("facesim"), qos);
+  EXPECT_EQ(rt.idle_state, power::CState::kPoll);
+  const ScheduleDecision batch = proposed_.scheduler().schedule(
+      workload::find_benchmark("swaptions"), qos);
+  EXPECT_EQ(batch.idle_state, power::CState::kC1E);
+}
+
+TEST_F(SchedulerTest, SoaAlwaysPolls) {
+  const workload::QoSRequirement qos{3.0};
+  for (const auto& bench : workload::parsec_benchmarks()) {
+    EXPECT_EQ(soa_.scheduler().schedule(bench, qos).idle_state,
+              power::CState::kPoll);
+  }
+}
+
+TEST_F(SchedulerTest, ProposedPowerNeverAboveSoa) {
+  for (const auto& qos : workload::qos_levels()) {
+    for (const auto& name : {"x264", "canneal", "ferret"}) {
+      const auto& bench = workload::find_benchmark(name);
+      const double p_prop =
+          proposed_.scheduler().schedule(bench, qos).point.power_w;
+      const double p_soa =
+          soa_.scheduler().schedule(bench, qos).point.power_w;
+      EXPECT_LE(p_prop, p_soa + 1e-9) << name << " @" << qos.factor;
+    }
+  }
+}
+
+TEST_F(SchedulerTest, RunReturnsDecisionAndResult) {
+  const auto& bench = workload::find_benchmark("vips");
+  ScheduleDecision decision;
+  const SimulationResult sim = proposed_.scheduler().run(
+      bench, workload::QoSRequirement{2.0}, &decision);
+  EXPECT_EQ(sim.active_cores, decision.cores);
+  EXPECT_GT(sim.die.max_c, 30.0);
+}
+
+TEST(ApproachPipeline, NamesMatchPaperNotation) {
+  EXPECT_STREQ(to_string(Approach::kProposed), "Proposed");
+  EXPECT_STREQ(to_string(Approach::kSoaBalancing), "[8]+[27]+[9]");
+  EXPECT_STREQ(to_string(Approach::kSoaInletFirst), "[8]+[27]+[7]");
+}
+
+// --------------------------------------------------------------- rack plan --
+
+TEST(RackCoordinator, SharedSupplyIsMinimumAndFeasible) {
+  RackCoordinator::Config config;
+  config.approach = Approach::kProposed;
+  config.qos = workload::QoSRequirement{2.0};
+  config.cell_size_m = 2.0e-3;  // very coarse: many solves
+  RackCoordinator coordinator(std::move(config));
+
+  const RackPlan plan =
+      coordinator.plan({"x264", "canneal", "swaptions"});
+  ASSERT_EQ(plan.servers.size(), 3u);
+  double min_supply = 1e9;
+  for (const ServerPlan& sp : plan.servers) {
+    EXPECT_GT(sp.package_power_w, 0.0);
+    min_supply = std::min(min_supply, sp.max_supply_temp_c);
+  }
+  EXPECT_DOUBLE_EQ(plan.cooling.supply_temp_c, min_supply);
+  EXPECT_GT(plan.cooling.return_temp_c, plan.cooling.supply_temp_c);
+  EXPECT_GT(plan.cooling.chiller_electrical_w, 0.0);
+}
+
+TEST(RackCoordinator, HeavierRackNeedsMorePower) {
+  RackCoordinator::Config config;
+  config.qos = workload::QoSRequirement{2.0};
+  config.cell_size_m = 2.0e-3;
+  RackCoordinator coordinator(config);
+  const RackPlan small = coordinator.plan({"canneal"});
+  RackCoordinator coordinator2(config);
+  const RackPlan large = coordinator2.plan({"canneal", "x264", "facesim"});
+  EXPECT_GT(large.cooling.total_heat_w, small.cooling.total_heat_w);
+  EXPECT_GE(large.cooling.chiller_electrical_w,
+            small.cooling.chiller_electrical_w);
+}
+
+TEST(RackCoordinator, EmptyPlanThrows) {
+  RackCoordinator::Config config;
+  config.cell_size_m = 2.0e-3;
+  RackCoordinator coordinator(config);
+  EXPECT_THROW(coordinator.plan({}), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tpcool::core

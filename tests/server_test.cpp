@@ -1,0 +1,157 @@
+// Tests for tpcool::core::ServerModel — the coupled thermosyphon + thermal
+// solve: energy consistency, boundary sanity, monotone responses.
+// Coarse grids keep the suite fast; the physics is resolution-stable.
+
+#include <gtest/gtest.h>
+
+#include "tpcool/core/pipelines.hpp"
+#include "tpcool/core/server.hpp"
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::core {
+namespace {
+
+ServerConfig coarse_config() {
+  ServerConfig config;
+  config.stack.cell_size_m = 1.5e-3;
+  config.design.evaporator =
+      default_evaporator_geometry(thermosyphon::Orientation::kEastWest);
+  config.design.filling_ratio = 0.55;
+  return config;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerModel server_{coarse_config()};
+  const workload::BenchmarkProfile& bench_ = workload::find_benchmark("x264");
+};
+
+TEST_F(ServerTest, SimulationProducesConsistentResult) {
+  const workload::Configuration config{4, 2, 3.2};
+  const SimulationResult sim = server_.simulate(
+      bench_, config, {5, 4, 7, 2}, power::CState::kC1);
+
+  // Power bookkeeping.
+  EXPECT_NEAR(sim.total_power_w, sim.power.total_w(), 1e-9);
+  EXPECT_GT(sim.total_power_w, 30.0);
+  EXPECT_LT(sim.total_power_w, 90.0);
+
+  // Thermal sanity: die ≥ package ≥ saturation ≥ water inlet.
+  EXPECT_GT(sim.die.max_c, sim.package.max_c);
+  EXPECT_GT(sim.package.max_c, sim.syphon.t_sat_c);
+  EXPECT_GT(sim.syphon.t_sat_c,
+            server_.operating_point().water_inlet_c);
+
+  // Almost all heat leaves through the evaporator (weak board path).
+  EXPECT_NEAR(sim.syphon.q_total_w, sim.total_power_w,
+              0.15 * sim.total_power_w);
+  EXPECT_EQ(sim.active_cores, (std::vector<int>{5, 4, 7, 2}));
+}
+
+TEST_F(ServerTest, DieAmplifiesPackageProfile) {
+  // The Fig. 2 observation: hot spots and gradients on the die are a
+  // scaled-up version of those on the package.
+  const workload::Configuration config{6, 2, 3.2};
+  const SimulationResult sim = server_.simulate(
+      bench_, config, {5, 6, 7, 1, 2, 3}, power::CState::kPoll);
+  EXPECT_GT(sim.die.max_c, sim.package.max_c + 5.0);
+  EXPECT_GT(sim.die.grad_max_c_per_mm, 2.0 * sim.package.grad_max_c_per_mm);
+}
+
+TEST_F(ServerTest, MorePowerMeansHotter) {
+  const SimulationResult low = server_.simulate(
+      bench_, {4, 2, 2.6}, {5, 4, 7, 2}, power::CState::kC1E);
+  const SimulationResult high = server_.simulate(
+      bench_, {4, 2, 3.2}, {5, 4, 7, 2}, power::CState::kC1E);
+  EXPECT_GT(high.total_power_w, low.total_power_w);
+  EXPECT_GT(high.die.max_c, low.die.max_c);
+  EXPECT_GT(high.tcase_c, low.tcase_c);
+}
+
+TEST_F(ServerTest, ColderWaterCoolsEverything) {
+  const workload::Configuration config{8, 2, 3.2};
+  const std::vector<int> all{1, 2, 3, 4, 5, 6, 7, 8};
+  server_.set_operating_point({.water_flow_kg_h = 7.0, .water_inlet_c = 30.0});
+  const SimulationResult warm =
+      server_.simulate(bench_, config, all, power::CState::kPoll);
+  server_.set_operating_point({.water_flow_kg_h = 7.0, .water_inlet_c = 20.0});
+  const SimulationResult cold =
+      server_.simulate(bench_, config, all, power::CState::kPoll);
+  EXPECT_GT(warm.die.max_c, cold.die.max_c);
+  EXPECT_GT(warm.tcase_c, cold.tcase_c);
+  EXPECT_NEAR(warm.die.max_c - cold.die.max_c, 10.0, 4.0);
+}
+
+TEST_F(ServerTest, HigherFlowNeverHurts) {
+  const workload::Configuration config{8, 2, 3.2};
+  const std::vector<int> all{1, 2, 3, 4, 5, 6, 7, 8};
+  server_.set_operating_point({.water_flow_kg_h = 4.0, .water_inlet_c = 30.0});
+  const SimulationResult slow =
+      server_.simulate(bench_, config, all, power::CState::kPoll);
+  server_.set_operating_point({.water_flow_kg_h = 20.0, .water_inlet_c = 30.0});
+  const SimulationResult fast =
+      server_.simulate(bench_, config, all, power::CState::kPoll);
+  EXPECT_GE(slow.die.max_c, fast.die.max_c - 0.1);
+  EXPECT_GT(slow.syphon.t_sat_c, fast.syphon.t_sat_c);
+}
+
+TEST_F(ServerTest, WorstCaseStaysUnderTcaseLimit) {
+  // §VI: the design must hold TCASE ≤ 85 °C for the worst-case workload at
+  // the selected operating point (7 kg/h @ 30 °C).
+  const auto& worst = workload::worst_case_benchmark();
+  const SimulationResult sim = server_.simulate(
+      worst, {8, 2, 3.2}, {1, 2, 3, 4, 5, 6, 7, 8}, power::CState::kPoll);
+  EXPECT_LE(sim.tcase_c, 85.0);
+  EXPECT_LE(sim.die.max_c, 100.0);
+}
+
+TEST_F(ServerTest, MappingSizeMismatchThrows) {
+  EXPECT_THROW(server_.simulate(bench_, {4, 2, 3.2}, {1, 2},
+                                power::CState::kPoll),
+               util::PreconditionError);
+}
+
+TEST_F(ServerTest, ExplicitPowersSimulation) {
+  floorplan::UnitPowers powers{{"core1", 8.0}, {"core5", 8.0}, {"llc", 2.0},
+                               {"memctrl", 5.0}, {"uncore_io", 6.0}};
+  const SimulationResult sim = server_.simulate_powers(powers);
+  EXPECT_NEAR(sim.total_power_w, 29.0, 1e-9);
+  EXPECT_GT(sim.die.max_c, sim.syphon.t_sat_c);
+}
+
+TEST(ServerFactories, ProposedAndSoaDiffer) {
+  const ServerConfig proposed = server_config_for(Approach::kProposed, 1.5e-3);
+  const ServerConfig soa = server_config_for(Approach::kSoaBalancing, 1.5e-3);
+  EXPECT_EQ(proposed.design.evaporator.orientation,
+            thermosyphon::Orientation::kEastWest);
+  EXPECT_EQ(soa.design.evaporator.orientation,
+            thermosyphon::Orientation::kNorthSouth);
+  EXPECT_GT(proposed.design.filling_ratio, soa.design.filling_ratio);
+}
+
+TEST(ServerConfigValidation, RejectsBadCouplingIterations) {
+  ServerConfig config = coarse_config();
+  config.coupling_iterations = 0;
+  EXPECT_THROW(ServerModel{config}, util::PreconditionError);
+}
+
+// Grid-resolution stability: metrics must not change wildly with the cell
+// size (a property check on the finite-volume discretization).
+TEST(ServerResolution, MetricsStableAcrossGrids) {
+  const auto run = [](double cell) {
+    ServerConfig config = coarse_config();
+    config.stack.cell_size_m = cell;
+    ServerModel server(std::move(config));
+    const auto& bench = workload::find_benchmark("x264");
+    return server.simulate(bench, {8, 2, 3.2}, {1, 2, 3, 4, 5, 6, 7, 8},
+                           power::CState::kPoll);
+  };
+  const SimulationResult coarse = run(2.0e-3);
+  const SimulationResult fine = run(1.0e-3);
+  EXPECT_NEAR(coarse.die.max_c, fine.die.max_c, 6.0);
+  EXPECT_NEAR(coarse.tcase_c, fine.tcase_c, 3.0);
+  EXPECT_NEAR(coarse.syphon.t_sat_c, fine.syphon.t_sat_c, 0.5);
+}
+
+}  // namespace
+}  // namespace tpcool::core

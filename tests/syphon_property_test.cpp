@@ -1,0 +1,134 @@
+// Property sweeps over the full thermosyphon design space: for every
+// (refrigerant × filling ratio × orientation) combination the solver must
+// uphold the same physical invariants. Parameterized gtest (TEST_P).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "tpcool/thermosyphon/thermosyphon.hpp"
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::thermosyphon {
+namespace {
+
+using Params = std::tuple<const materials::Refrigerant*, double, Orientation>;
+
+class SyphonDesignSpace : public ::testing::TestWithParam<Params> {
+ protected:
+  static floorplan::GridSpec grid() {
+    floorplan::GridSpec g;
+    g.dx = 1e-3;
+    g.dy = 1e-3;
+    g.nx = 46;
+    g.ny = 44;
+    return g;
+  }
+  static floorplan::Rect footprint() {
+    return {1.0e-3, 1.0e-3, 45.0e-3, 43.0e-3};
+  }
+
+  ThermosyphonDesign design() const {
+    ThermosyphonDesign d;
+    d.refrigerant = std::get<0>(GetParam());
+    d.filling_ratio = std::get<1>(GetParam());
+    d.evaporator.orientation = std::get<2>(GetParam());
+    return d;
+  }
+
+  static util::Grid2D<double> centred_heat(double watts) {
+    util::Grid2D<double> heat(46, 44, 0.0);
+    for (std::size_t iy = 14; iy < 30; ++iy) {
+      for (std::size_t ix = 15; ix < 31; ++ix) {
+        heat(ix, iy) = watts / (16.0 * 16.0);
+      }
+    }
+    return heat;
+  }
+};
+
+std::string param_name(const ::testing::TestParamInfo<Params>& info) {
+  const materials::Refrigerant* fluid = std::get<0>(info.param);
+  const double fr = std::get<1>(info.param);
+  const Orientation orientation = std::get<2>(info.param);
+  return fluid->name() + "_fr" +
+         std::to_string(static_cast<int>(std::lround(fr * 100))) + "_" +
+         (orientation == Orientation::kEastWest ? "EW" : "NS");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignSpace, SyphonDesignSpace,
+    ::testing::Combine(
+        ::testing::Values(&materials::r236fa(), &materials::r134a(),
+                          &materials::r245fa()),
+        ::testing::Values(0.35, 0.55, 0.75),
+        ::testing::Values(Orientation::kEastWest,
+                          Orientation::kNorthSouth)),
+    param_name);
+
+TEST_P(SyphonDesignSpace, EnergyBalanceHolds) {
+  const Thermosyphon ts(design(), grid(), footprint());
+  const ThermosyphonState s = ts.solve(centred_heat(60.0), {});
+  EXPECT_NEAR(s.q_total_w, 60.0, 1e-9);
+  double absorbed = 0.0;
+  for (const auto& ch : s.channels) absorbed += ch.absorbed_w;
+  EXPECT_NEAR(absorbed, 60.0, 1e-9);
+}
+
+TEST_P(SyphonDesignSpace, TemperatureOrderingHolds) {
+  const Thermosyphon ts(design(), grid(), footprint());
+  const ThermosyphonState s = ts.solve(centred_heat(60.0), {});
+  EXPECT_GT(s.t_sat_c, 30.0);            // above the water inlet
+  EXPECT_LT(s.t_sat_c, 70.0);            // physically sane
+  EXPECT_GT(s.water_outlet_c, 30.0);
+  EXPECT_LT(s.water_outlet_c, s.t_sat_c + 1e-9);  // condenser second law
+}
+
+TEST_P(SyphonDesignSpace, CirculationScalesSensiblyWithLoad) {
+  const Thermosyphon ts(design(), grid(), footprint());
+  const ThermosyphonState low = ts.solve(centred_heat(25.0), {});
+  const ThermosyphonState high = ts.solve(centred_heat(75.0), {});
+  EXPECT_GT(low.refrigerant_flow_kg_s, 0.0);
+  EXPECT_GT(high.refrigerant_flow_kg_s, 0.0);
+  // Exit quality must grow with load (flow self-regulation is sub-linear).
+  EXPECT_GT(high.loop_exit_quality, low.loop_exit_quality);
+}
+
+TEST_P(SyphonDesignSpace, HtcMapIsNonNegativeAndFootprintBound) {
+  const Thermosyphon ts(design(), grid(), footprint());
+  const ThermosyphonState s = ts.solve(centred_heat(60.0), {});
+  for (std::size_t iy = 0; iy < 44; ++iy) {
+    for (std::size_t ix = 0; ix < 46; ++ix) {
+      const double h = s.htc_map(ix, iy);
+      EXPECT_GE(h, 0.0);
+      EXPECT_LT(h, 1.0e6);
+      const auto cell = grid().cell_rect(ix, iy);
+      if (!footprint().contains(cell.center_x(), cell.center_y())) {
+        EXPECT_DOUBLE_EQ(h, 0.0);
+      }
+    }
+  }
+}
+
+TEST_P(SyphonDesignSpace, ColderWaterLowersSaturation) {
+  const Thermosyphon ts(design(), grid(), footprint());
+  const ThermosyphonState warm =
+      ts.solve(centred_heat(60.0), {.water_inlet_c = 35.0});
+  const ThermosyphonState cold =
+      ts.solve(centred_heat(60.0), {.water_inlet_c = 15.0});
+  EXPECT_GT(warm.t_sat_c, cold.t_sat_c + 10.0);
+}
+
+TEST_P(SyphonDesignSpace, QualityProfilesWithinBounds) {
+  const Thermosyphon ts(design(), grid(), footprint());
+  const ThermosyphonState s = ts.solve(centred_heat(70.0), {});
+  for (const auto& ch : s.channels) {
+    EXPECT_GE(ch.exit_quality, 0.0);
+    EXPECT_LE(ch.exit_quality, 1.0);
+    EXPECT_GE(ch.absorbed_w, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace tpcool::thermosyphon

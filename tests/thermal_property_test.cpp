@@ -1,0 +1,133 @@
+// Property sweeps of the thermal finite-volume solver across grid
+// resolutions and boundary strengths: conservation, maximum-principle and
+// monotonicity invariants must hold for every discretization.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tpcool/thermal/grid.hpp"
+#include "tpcool/thermal/metrics.hpp"
+#include "tpcool/thermal/stack.hpp"
+
+namespace tpcool::thermal {
+namespace {
+
+using Params = std::tuple<double /*cell size m*/, double /*htc W/m²K*/>;
+
+class ThermalSweep : public ::testing::TestWithParam<Params> {
+ protected:
+  ThermalModel make_model() const {
+    PackageStackConfig config;
+    config.cell_size_m = std::get<0>(GetParam());
+    ThermalModel model(make_package_stack(config));
+    model.set_top_boundary_uniform(std::get<1>(GetParam()), 35.0);
+    model.set_bottom_boundary(10.0, 40.0);
+    return model;
+  }
+
+  static util::Grid2D<double> core_like_power(const ThermalModel& model,
+                                              double watts) {
+    util::Grid2D<double> power(model.nx(), model.ny(), 0.0);
+    // A core-sized patch west of centre, inside the die region.
+    const std::size_t cx = model.nx() / 3;
+    const std::size_t cy = model.ny() / 2;
+    for (std::size_t iy = cy - 1; iy <= cy + 1; ++iy) {
+      for (std::size_t ix = cx - 2; ix <= cx + 2; ++ix) {
+        power(ix, iy) = watts / 15.0;
+      }
+    }
+    return power;
+  }
+};
+
+std::string sweep_name(const ::testing::TestParamInfo<Params>& info) {
+  const int um = static_cast<int>(std::get<0>(info.param) * 1e6);
+  const int h = static_cast<int>(std::get<1>(info.param));
+  return "cell" + std::to_string(um) + "um_h" + std::to_string(h);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Discretizations, ThermalSweep,
+    ::testing::Combine(::testing::Values(2.5e-3, 1.5e-3, 1.0e-3),
+                       ::testing::Values(3000.0, 12000.0, 30000.0)),
+    sweep_name);
+
+TEST_P(ThermalSweep, EnergyConservedThroughBothBoundaries) {
+  ThermalModel model = make_model();
+  model.set_bottom_boundary(0.0, 0.0);  // isolate the top path
+  model.set_power_map(core_like_power(model, 50.0));
+  const auto t = model.solve_steady();
+  EXPECT_NEAR(model.top_heat_flow_w(t), 50.0, 0.05);
+}
+
+TEST_P(ThermalSweep, MaximumPrinciple) {
+  // With sources only on the die layer, no cell may be colder than the
+  // coldest boundary fluid nor hotter than the die maximum.
+  ThermalModel model = make_model();
+  model.set_power_map(core_like_power(model, 60.0));
+  const auto t = model.solve_steady();
+  const auto die = model.layer_field(t, model.stack().die_layer);
+  const double die_max = util::grid_max(die);
+  for (const double v : t) {
+    EXPECT_GE(v, 35.0 - 1e-6);       // coldest fluid (top boundary)
+    EXPECT_LE(v, die_max + 1e-6);    // hottest point is at a source
+  }
+}
+
+TEST_P(ThermalSweep, SuperpositionHolds) {
+  // The operator is linear: T(P1+P2) − T(0) = [T(P1)−T(0)] + [T(P2)−T(0)].
+  ThermalModel model = make_model();
+  const auto zero = [&] {
+    model.set_power_map(util::Grid2D<double>(model.nx(), model.ny(), 0.0));
+    return model.solve_steady();
+  }();
+
+  util::Grid2D<double> p1 = core_like_power(model, 30.0);
+  util::Grid2D<double> p2(model.nx(), model.ny(), 0.0);
+  p2(2 * model.nx() / 3, model.ny() / 2) = 20.0;
+
+  model.set_power_map(p1);
+  const auto t1 = model.solve_steady();
+  model.set_power_map(p2);
+  const auto t2 = model.solve_steady();
+
+  util::Grid2D<double> sum(model.nx(), model.ny(), 0.0);
+  for (std::size_t i = 0; i < sum.size(); ++i) {
+    sum.data()[i] = p1.data()[i] + p2.data()[i];
+  }
+  model.set_power_map(sum);
+  const auto t12 = model.solve_steady();
+
+  for (std::size_t i = 0; i < t12.size(); i += 97) {  // sampled check
+    EXPECT_NEAR(t12[i] - zero[i], (t1[i] - zero[i]) + (t2[i] - zero[i]),
+                2e-4);
+  }
+}
+
+TEST_P(ThermalSweep, StrongerCoolingNeverHeatsAnyCell) {
+  ThermalModel model = make_model();
+  model.set_power_map(core_like_power(model, 60.0));
+  const auto base = model.solve_steady();
+  model.set_top_boundary_uniform(std::get<1>(GetParam()) * 2.0, 35.0);
+  const auto cooled = model.solve_steady();
+  for (std::size_t i = 0; i < base.size(); i += 31) {
+    EXPECT_LE(cooled[i], base[i] + 1e-6);
+  }
+}
+
+TEST_P(ThermalSweep, MetricsConsistentWithField) {
+  ThermalModel model = make_model();
+  model.set_power_map(core_like_power(model, 60.0));
+  const auto t = model.solve_steady();
+  const auto die = model.layer_field(t, model.stack().die_layer);
+  const ThermalMetrics m = compute_metrics(die, model.stack().grid,
+                                           model.stack().die_region);
+  EXPECT_GE(m.max_c, m.avg_c);
+  EXPECT_GT(m.grad_max_c_per_mm, 0.0);
+  EXPECT_GE(m.hotspot_cells, 1u);
+  EXPECT_LE(m.hotspot_cells, m.cell_count);
+}
+
+}  // namespace
+}  // namespace tpcool::thermal

@@ -1,0 +1,123 @@
+// Tests for workload traces and the trace-driven transient runner.
+
+#include <gtest/gtest.h>
+
+#include "tpcool/core/pipelines.hpp"
+#include "tpcool/core/trace_runner.hpp"
+#include "tpcool/util/error.hpp"
+
+namespace tpcool {
+namespace {
+
+// ------------------------------------------------------------------ trace --
+
+TEST(WorkloadTrace, PhaseLookupByTime) {
+  const workload::WorkloadTrace trace({
+      {"x264", {1.0}, 10.0},
+      {"canneal", {3.0}, 5.0},
+      {"vips", {2.0}, 15.0},
+  });
+  EXPECT_EQ(trace.phase_count(), 3u);
+  EXPECT_DOUBLE_EQ(trace.total_duration_s(), 30.0);
+  EXPECT_EQ(trace.phase_at(0.0).benchmark, "x264");
+  EXPECT_EQ(trace.phase_at(9.99).benchmark, "x264");
+  EXPECT_EQ(trace.phase_at(10.0).benchmark, "canneal");
+  EXPECT_EQ(trace.phase_at(14.99).benchmark, "canneal");
+  EXPECT_EQ(trace.phase_at(15.0).benchmark, "vips");
+  EXPECT_EQ(trace.phase_at(1e9).benchmark, "vips");  // clamped to last
+  EXPECT_EQ(trace.phase_index_at(12.0), 1u);
+}
+
+TEST(WorkloadTrace, ValidatesPhases) {
+  EXPECT_THROW(workload::WorkloadTrace({}), util::PreconditionError);
+  EXPECT_THROW(workload::WorkloadTrace({{"x264", {1.0}, 0.0}}),
+               util::PreconditionError);
+  EXPECT_THROW(workload::WorkloadTrace({{"nonexistent", {1.0}, 1.0}}),
+               util::PreconditionError);
+  EXPECT_THROW(workload::WorkloadTrace({{"x264", {0.5}, 1.0}}),
+               util::PreconditionError);
+}
+
+TEST(WorkloadTrace, BuiltinTracesValid) {
+  const workload::WorkloadTrace daily = workload::make_daily_trace(5.0);
+  EXPECT_GE(daily.phase_count(), 4u);
+  EXPECT_GT(daily.total_duration_s(), 0.0);
+  const workload::WorkloadTrace stress = workload::make_stress_trace(5.0);
+  EXPECT_GE(stress.phase_count(), 3u);
+  // The stress trace alternates tight and relaxed QoS.
+  bool has_tight = false, has_relaxed = false;
+  for (const auto& p : stress.phases()) {
+    has_tight |= p.qos.factor == 1.0;
+    has_relaxed |= p.qos.factor == 3.0;
+  }
+  EXPECT_TRUE(has_tight);
+  EXPECT_TRUE(has_relaxed);
+}
+
+// ----------------------------------------------------------- trace runner --
+
+class TraceRunnerTest : public ::testing::Test {
+ protected:
+  TraceRunnerTest() : pipeline_(core::Approach::kProposed, 2.0e-3) {}
+  core::ApproachPipeline pipeline_;
+};
+
+TEST_F(TraceRunnerTest, RunsDailyTraceWithinLimits) {
+  core::TraceRunner runner(pipeline_.server(), pipeline_.scheduler(),
+                           {.control_period_s = 1.0});
+  const core::TraceResult result =
+      runner.run(workload::make_daily_trace(4.0));
+  EXPECT_EQ(result.phases.size(), 6u);
+  EXPECT_FALSE(result.tcase_limit_exceeded);
+  EXPECT_GT(result.total_energy_j, 0.0);
+  for (const core::PhaseRecord& r : result.phases) {
+    EXPECT_GT(r.peak_tcase_c, 30.0);
+    EXPECT_LE(r.peak_tcase_c, 85.0);
+    EXPECT_GE(r.peak_die_c, r.peak_tcase_c);  // die is always hotter
+    EXPECT_GT(r.avg_power_w, 20.0);
+    EXPECT_NEAR(r.energy_j, r.avg_power_w * 4.0 *
+                    (r.phase_index == 0 || r.phase_index == 5 ? 2.0
+                     : r.phase_index == 2 || r.phase_index == 4 ? 1.5
+                                                                : 1.0),
+                1e-6);
+  }
+}
+
+TEST_F(TraceRunnerTest, InteractivePhasesRunHotterThanBatch) {
+  core::TraceRunner runner(pipeline_.server(), pipeline_.scheduler(),
+                           {.control_period_s = 1.0});
+  const core::TraceResult result =
+      runner.run(workload::make_daily_trace(6.0));
+  // Phase 1 is the 1x x264 burst; phase 0 is the 3x overnight batch.
+  EXPECT_GT(result.phases[1].avg_power_w, result.phases[0].avg_power_w);
+  EXPECT_GT(result.phases[1].peak_die_c, result.phases[0].peak_die_c);
+}
+
+TEST_F(TraceRunnerTest, ThermalStateCarriesAcrossPhases) {
+  // A light phase right after a heavy one starts warm: its *end* TCASE is
+  // lower than its *start* (cooling down), which is only observable if the
+  // state is carried over.
+  core::TraceRunner runner(pipeline_.server(), pipeline_.scheduler(),
+                           {.control_period_s = 0.5});
+  const workload::WorkloadTrace trace({
+      {"x264", {1.0}, 8.0},
+      {"canneal", {3.0}, 8.0},
+  });
+  const core::TraceResult result = runner.run(trace);
+  ASSERT_EQ(result.phases.size(), 2u);
+  // The batch phase's peak is at its beginning (inherited heat).
+  EXPECT_GT(result.phases[1].peak_tcase_c,
+            result.phases[1].end_tcase_c + 0.2);
+}
+
+TEST_F(TraceRunnerTest, EnergyAccumulatesOverPhases) {
+  core::TraceRunner runner(pipeline_.server(), pipeline_.scheduler(), {});
+  const core::TraceResult result =
+      runner.run(workload::make_stress_trace(2.0));
+  double sum = 0.0;
+  for (const auto& r : result.phases) sum += r.energy_j;
+  EXPECT_NEAR(result.total_energy_j, sum, 1e-9);
+}
+
+}  // namespace
+}  // namespace tpcool
