@@ -24,8 +24,12 @@ int main(int argc, char** argv) {
                             "thetaavg [C]", "grad-max [C/mm]"});
   int design = 1;
   for (const core::Fig5Row& row : rows) {
-    const std::string name = "#" + std::to_string(design++) + " " +
-                             thermosyphon::to_string(row.orientation);
+    // Built with += to dodge GCC 12's false-positive -Wrestrict on chained
+    // operator+ over a small string (GCC PR 105651).
+    std::string name = "#";
+    name += std::to_string(design++);
+    name += " ";
+    name += thermosyphon::to_string(row.orientation);
     table.add_row({name, "die", util::TablePrinter::fmt(row.die.max_c, 1),
                    util::TablePrinter::fmt(row.die.avg_c, 1),
                    util::TablePrinter::fmt(row.die.grad_max_c_per_mm, 2)});

@@ -1,0 +1,17 @@
+# Shared warning flags, attached to every target via the tpcool_warnings
+# INTERFACE library. TPCOOL_WERROR=ON (the `strict` preset) promotes them
+# to errors; the whole tree builds clean under it.
+
+add_library(tpcool_warnings INTERFACE)
+
+if(MSVC)
+  target_compile_options(tpcool_warnings INTERFACE /W4)
+  if(TPCOOL_WERROR)
+    target_compile_options(tpcool_warnings INTERFACE /WX)
+  endif()
+else()
+  target_compile_options(tpcool_warnings INTERFACE -Wall -Wextra)
+  if(TPCOOL_WERROR)
+    target_compile_options(tpcool_warnings INTERFACE -Werror)
+  endif()
+endif()

@@ -58,13 +58,13 @@ TEST(Charge, WarmChargeNeedsMoreMassForSameFill) {
 
 TEST(Charge, RejectsBadInputs) {
   const LoopVolumes v = compute_volumes(EvaporatorGeometry{});
-  EXPECT_THROW(charge_mass_kg(r236fa(), v, 0.0), util::PreconditionError);
-  EXPECT_THROW(charge_mass_kg(r236fa(), v, 1.5), util::PreconditionError);
-  EXPECT_THROW(filling_ratio_of(r236fa(), v, 1.0),  // 1 kg: overfill
+  EXPECT_THROW((void)charge_mass_kg(r236fa(), v, 0.0), util::PreconditionError);
+  EXPECT_THROW((void)charge_mass_kg(r236fa(), v, 1.5), util::PreconditionError);
+  EXPECT_THROW((void)filling_ratio_of(r236fa(), v, 1.0),  // 1 kg: overfill
                util::PreconditionError);
-  EXPECT_THROW(filling_ratio_of(r236fa(), v, 0.0),  // underfill
+  EXPECT_THROW((void)filling_ratio_of(r236fa(), v, 0.0),  // underfill
                util::PreconditionError);
-  EXPECT_THROW(compute_volumes(EvaporatorGeometry{}, -0.1),
+  EXPECT_THROW((void)compute_volumes(EvaporatorGeometry{}, -0.1),
                util::PreconditionError);
 }
 

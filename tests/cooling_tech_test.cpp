@@ -96,7 +96,7 @@ TEST(Pue, DefinitionAndBounds) {
   const FacilityPower p{100.0, 20.0, 10.0, 3.0};
   EXPECT_NEAR(pue(p), 1.33, 1e-9);
   EXPECT_GE(pue(p), 1.0);
-  EXPECT_THROW(pue(FacilityPower{0.0, 1.0, 0.0, 0.0}),
+  EXPECT_THROW((void)pue(FacilityPower{0.0, 1.0, 0.0, 0.0}),
                util::PreconditionError);
 }
 

@@ -28,9 +28,9 @@ TEST(Eq1, PaperRatioSixVsEleven) {
 }
 
 TEST(Eq1, RejectsNegativeInputs) {
-  EXPECT_THROW(thermal_lift_power_w(-1.0, 5.0, 30.0),
+  EXPECT_THROW((void)thermal_lift_power_w(-1.0, 5.0, 30.0),
                util::PreconditionError);
-  EXPECT_THROW(thermal_lift_power_w(7.0, -5.0, 30.0),
+  EXPECT_THROW((void)thermal_lift_power_w(7.0, -5.0, 30.0),
                util::PreconditionError);
 }
 
@@ -65,7 +65,7 @@ TEST(Chiller, WarmSetpointNearlyFree) {
 }
 
 TEST(Chiller, RejectsNegativeLoad) {
-  EXPECT_THROW(ChillerModel{}.electrical_power_w(-1.0, 25.0),
+  EXPECT_THROW((void)ChillerModel{}.electrical_power_w(-1.0, 25.0),
                util::PreconditionError);
 }
 
@@ -90,7 +90,7 @@ TEST(CoolantLoop, TotalFlowSums) {
 
 TEST(CoolantLoop, AllZeroFlowThrows) {
   const CoolantBranch branches[1] = {{0.0, 10.0}};
-  EXPECT_THROW(mixed_return_c(branches, 1, 30.0), util::PreconditionError);
+  EXPECT_THROW((void)mixed_return_c(branches, 1, 30.0), util::PreconditionError);
 }
 
 // ------------------------------------------------------------------- rack --
@@ -128,7 +128,7 @@ TEST(Rack, ColderDemandRaisesElectricalPower) {
 }
 
 TEST(Rack, EmptyRackThrows) {
-  EXPECT_THROW(solve_rack_cooling({}, ChillerModel{}),
+  EXPECT_THROW((void)solve_rack_cooling({}, ChillerModel{}),
                util::PreconditionError);
 }
 

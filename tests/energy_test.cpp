@@ -103,7 +103,7 @@ TEST_F(EnergyTest, RaceToIdleRejectsInvertedArguments) {
   ConfigPoint fast = sorted.back();   // most power, fastest
   ConfigPoint slow = sorted.front();  // least power, slowest
   if (fast.norm_time > slow.norm_time) std::swap(fast, slow);
-  EXPECT_THROW(race_to_idle_ratio(slow, fast, 5.0), util::PreconditionError);
+  EXPECT_THROW((void)race_to_idle_ratio(slow, fast, 5.0), util::PreconditionError);
 }
 
 }  // namespace

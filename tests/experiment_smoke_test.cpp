@@ -1,0 +1,78 @@
+// CI smoke coverage for the paper pipelines at deliberately coarse
+// resolution (1.5 mm grid, 2 benchmarks). The full-fidelity orderings are
+// asserted by paper_results_test.cpp (label: slow); this suite keeps the
+// same qualitative claims under `ctest -L fast` in seconds.
+
+#include <gtest/gtest.h>
+
+#include "tpcool/core/experiment.hpp"
+
+namespace tpcool::core {
+namespace {
+
+ExperimentOptions smoke_options() {
+  ExperimentOptions options;
+  options.cell_size_m = 1.5e-3;
+  options.max_benchmarks = 2;
+  return options;
+}
+
+// ------------------------------------------------------------------ Fig. 2 --
+
+TEST(SmokeFig2, DieHotterAndSteeperThanPackage) {
+  const Fig2Result r = run_fig2_motivation(smoke_options());
+  // The die hot spot exceeds the package hot spot and the die gradient is
+  // the steeper one — the motivation for die-level modelling survives even
+  // a 2x-coarser grid.
+  EXPECT_GT(r.die.max_c, r.package.max_c);
+  EXPECT_GT(r.die.avg_c, r.package.avg_c);
+  EXPECT_GT(r.die.grad_max_c_per_mm, r.package.grad_max_c_per_mm);
+  // Fields cover the same grid and carry plausible temperatures.
+  EXPECT_TRUE(r.die_field_c.same_shape(r.package_field_c));
+  EXPECT_GT(r.die.max_c, 30.0);
+  EXPECT_LT(r.die.max_c, 150.0);
+}
+
+// ------------------------------------------------------------------ Fig. 5 --
+
+TEST(SmokeFig5, BothOrientationsSolveAndEastWestWins) {
+  const auto rows = run_fig5_orientation(smoke_options());
+  ASSERT_EQ(rows.size(), 2u);
+  ASSERT_EQ(rows[0].orientation, thermosyphon::Orientation::kEastWest);
+  ASSERT_EQ(rows[1].orientation, thermosyphon::Orientation::kNorthSouth);
+  // Design 1 (east-west) keeps the cooler die, as in the paper.
+  EXPECT_LT(rows[0].die.max_c, rows[1].die.max_c);
+  for (const Fig5Row& row : rows) {
+    EXPECT_GT(row.die.max_c, row.package.max_c);
+  }
+}
+
+// ---------------------------------------------------------------- Table II --
+
+TEST(SmokeTable2, ProposedNeverWorseThanSoa) {
+  const auto rows = run_table2(smoke_options());
+  ASSERT_EQ(rows.size(), 9u);  // 3 approaches x 3 QoS factors.
+  const auto row = [&rows](Approach approach, double qos) -> const Table2Row& {
+    for (const Table2Row& r : rows) {
+      if (r.approach == approach && r.qos_factor == qos) return r;
+    }
+    ADD_FAILURE() << "missing Table II row";
+    return rows.front();
+  };
+  for (const double qos : {1.0, 2.0, 3.0}) {
+    const Table2Row& p = row(Approach::kProposed, qos);
+    // Proposed <= both SoA baselines on the die hot spot (small epsilon:
+    // at 1x all approaches run the identical full configuration and only
+    // the design differs, which coarse grids can blur).
+    EXPECT_LE(p.die_max_c, row(Approach::kSoaBalancing, qos).die_max_c + 0.5)
+        << qos;
+    EXPECT_LE(p.die_max_c, row(Approach::kSoaInletFirst, qos).die_max_c + 0.5)
+        << qos;
+  }
+  // Relaxing QoS must not heat the proposed system.
+  EXPECT_GE(row(Approach::kProposed, 1.0).die_max_c,
+            row(Approach::kProposed, 3.0).die_max_c - 0.5);
+}
+
+}  // namespace
+}  // namespace tpcool::core

@@ -136,9 +136,9 @@ TEST_F(XeonFloorplanTest, UncoreStripsAlongSouthEdge) {
 TEST_F(XeonFloorplanTest, UnitLookup) {
   EXPECT_TRUE(fp_.index_of("llc").has_value());
   EXPECT_FALSE(fp_.index_of("nonexistent").has_value());
-  EXPECT_THROW(fp_.unit("nonexistent"), util::PreconditionError);
-  EXPECT_THROW(fp_.core(0), util::PreconditionError);
-  EXPECT_THROW(fp_.core(9), util::PreconditionError);
+  EXPECT_THROW((void)fp_.unit("nonexistent"), util::PreconditionError);
+  EXPECT_THROW((void)fp_.core(0), util::PreconditionError);
+  EXPECT_THROW((void)fp_.core(9), util::PreconditionError);
 }
 
 TEST_F(XeonFloorplanTest, UnitsOfTypeCounts) {

@@ -240,9 +240,9 @@ TEST_F(SelectTest, PackCapRespectsPowerCap) {
 TEST_F(SelectTest, ImpossibleQosThrows) {
   const auto& bench = workload::find_benchmark("canneal");
   const auto profile = profiler_.profile(bench, power::CState::kPoll);
-  EXPECT_THROW(algorithm1_select(profile, workload::QoSRequirement{0.5}),
+  EXPECT_THROW((void)algorithm1_select(profile, workload::QoSRequirement{0.5}),
                util::PreconditionError);
-  EXPECT_THROW(packcap_select(profile, workload::QoSRequirement{2.0}, 10.0),
+  EXPECT_THROW((void)packcap_select(profile, workload::QoSRequirement{2.0}, 10.0),
                util::PreconditionError);
 }
 

@@ -151,10 +151,10 @@ TEST(Refrigerant, PressureOrderingAcrossFluids) {
 }
 
 TEST(Refrigerant, OutOfRangeThrows) {
-  EXPECT_THROW(r236fa().saturation_pressure_pa(200.0),
+  EXPECT_THROW((void)r236fa().saturation_pressure_pa(200.0),
                util::PreconditionError);
-  EXPECT_THROW(r236fa().latent_heat_j_kg(130.0), util::PreconditionError);
-  EXPECT_THROW(r236fa().saturation_temperature_c(-1.0),
+  EXPECT_THROW((void)r236fa().latent_heat_j_kg(130.0), util::PreconditionError);
+  EXPECT_THROW((void)r236fa().saturation_temperature_c(-1.0),
                util::PreconditionError);
 }
 

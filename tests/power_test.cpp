@@ -65,7 +65,7 @@ TEST(CStates, SelectionByTolerableLatency) {
   EXPECT_EQ(deepest_cstate_within(2.0), CState::kC1);
   EXPECT_EQ(deepest_cstate_within(10.0), CState::kC1E);
   EXPECT_EQ(deepest_cstate_within(1000.0), CState::kC6);
-  EXPECT_THROW(deepest_cstate_within(-1.0), util::PreconditionError);
+  EXPECT_THROW((void)deepest_cstate_within(-1.0), util::PreconditionError);
 }
 
 // --------------------------------------------------------------- core pwr --
@@ -75,7 +75,7 @@ TEST(CorePower, SupportedFrequencies) {
   EXPECT_TRUE(is_supported_frequency(2.9));
   EXPECT_TRUE(is_supported_frequency(3.2));
   EXPECT_FALSE(is_supported_frequency(3.0));
-  EXPECT_THROW(core_voltage_v(3.0), util::PreconditionError);
+  EXPECT_THROW((void)core_voltage_v(3.0), util::PreconditionError);
 }
 
 TEST(CorePower, VoltageIncreasesWithFrequency) {
@@ -99,9 +99,9 @@ TEST(CorePower, ActiveIncludesPollFloor) {
 }
 
 TEST(CorePower, RejectsBadUtilization) {
-  EXPECT_THROW(dynamic_core_power_w(0.4, 0.0, 3.2), util::PreconditionError);
-  EXPECT_THROW(dynamic_core_power_w(0.4, 2.5, 3.2), util::PreconditionError);
-  EXPECT_THROW(dynamic_core_power_w(-0.1, 1.0, 3.2), util::PreconditionError);
+  EXPECT_THROW((void)dynamic_core_power_w(0.4, 0.0, 3.2), util::PreconditionError);
+  EXPECT_THROW((void)dynamic_core_power_w(0.4, 2.5, 3.2), util::PreconditionError);
+  EXPECT_THROW((void)dynamic_core_power_w(-0.1, 1.0, 3.2), util::PreconditionError);
 }
 
 // ------------------------------------------------------------- uncore pwr --
@@ -117,7 +117,7 @@ TEST(UncorePower, LlcCappedAtTwoWatts) {
   // §IV-C2: 2 W worst case for the 25 MB LLC.
   EXPECT_DOUBLE_EQ(llc_power_w(0.0), 1.0);
   EXPECT_DOUBLE_EQ(llc_power_w(1.0), 2.0);
-  EXPECT_THROW(llc_power_w(1.5), util::PreconditionError);
+  EXPECT_THROW((void)llc_power_w(1.5), util::PreconditionError);
 }
 
 TEST(UncorePower, GovernorMapSpansUncoreRange) {
@@ -127,8 +127,8 @@ TEST(UncorePower, GovernorMapSpansUncoreRange) {
 }
 
 TEST(UncorePower, OutOfRangeThrows) {
-  EXPECT_THROW(uncore_mcio_power_w(1.0), util::PreconditionError);
-  EXPECT_THROW(uncore_mcio_power_w(3.0), util::PreconditionError);
+  EXPECT_THROW((void)uncore_mcio_power_w(1.0), util::PreconditionError);
+  EXPECT_THROW((void)uncore_mcio_power_w(3.0), util::PreconditionError);
 }
 
 // ---------------------------------------------------------------- package --
@@ -176,13 +176,13 @@ TEST_F(PackagePowerTest, DeeperIdleStateReducesTotal) {
 TEST_F(PackagePowerTest, RejectsDuplicateOrBadCores) {
   PackagePowerRequest req;
   req.active_cores = {1, 1};
-  EXPECT_THROW(model_.breakdown(req), util::PreconditionError);
+  EXPECT_THROW((void)model_.breakdown(req), util::PreconditionError);
   req.active_cores = {0};
-  EXPECT_THROW(model_.breakdown(req), util::PreconditionError);
+  EXPECT_THROW((void)model_.breakdown(req), util::PreconditionError);
   req.active_cores = {9};
-  EXPECT_THROW(model_.breakdown(req), util::PreconditionError);
+  EXPECT_THROW((void)model_.breakdown(req), util::PreconditionError);
   req.active_cores = {};
-  EXPECT_THROW(model_.breakdown(req), util::PreconditionError);
+  EXPECT_THROW((void)model_.breakdown(req), util::PreconditionError);
 }
 
 TEST_F(PackagePowerTest, PaperPackagePowerRange) {

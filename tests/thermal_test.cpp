@@ -251,7 +251,7 @@ TEST(Metrics, EmptyRegionThrows) {
   GridSpec grid{0.0, 0.0, 1e-3, 1e-3, 4, 4};
   Grid2D<double> field(4, 4, 50.0);
   const Rect region{10e-3, 10e-3, 11e-3, 11e-3};
-  EXPECT_THROW(compute_metrics(field, grid, region), util::PreconditionError);
+  EXPECT_THROW((void)compute_metrics(field, grid, region), util::PreconditionError);
 }
 
 TEST(Metrics, SampleFieldBilinear) {

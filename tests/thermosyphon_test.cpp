@@ -65,9 +65,9 @@ TEST(Boiling, CooperMagnitudeReasonable) {
 }
 
 TEST(Boiling, CooperRejectsBadInputs) {
-  EXPECT_THROW(cooper_htc(0.0, 152.0, 1e5), util::PreconditionError);
-  EXPECT_THROW(cooper_htc(1.0, 152.0, 1e5), util::PreconditionError);
-  EXPECT_THROW(cooper_htc(0.1, -1.0, 1e5), util::PreconditionError);
+  EXPECT_THROW((void)cooper_htc(0.0, 152.0, 1e5), util::PreconditionError);
+  EXPECT_THROW((void)cooper_htc(1.0, 152.0, 1e5), util::PreconditionError);
+  EXPECT_THROW((void)cooper_htc(0.1, -1.0, 1e5), util::PreconditionError);
 }
 
 TEST(Boiling, EnhancementMonotoneInQuality) {
@@ -239,9 +239,9 @@ TEST(Loop, UnderchargeReducesFlow) {
 }
 
 TEST(Loop, RejectsBadArguments) {
-  EXPECT_THROW(solve_loop(r236fa(), 40.0, -1.0, 0.55),
+  EXPECT_THROW((void)solve_loop(r236fa(), 40.0, -1.0, 0.55),
                util::PreconditionError);
-  EXPECT_THROW(solve_loop(r236fa(), 40.0, 10.0, 0.0),
+  EXPECT_THROW((void)solve_loop(r236fa(), 40.0, 10.0, 0.0),
                util::PreconditionError);
 }
 

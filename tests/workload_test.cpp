@@ -47,7 +47,7 @@ TEST(Benchmarks, ParametersInValidRanges) {
 
 TEST(Benchmarks, LookupAndUnknown) {
   EXPECT_EQ(find_benchmark("x264").name, "x264");
-  EXPECT_THROW(find_benchmark("doom"), util::PreconditionError);
+  EXPECT_THROW((void)find_benchmark("doom"), util::PreconditionError);
 }
 
 TEST(Benchmarks, WorstCaseIsHighestFullLoadPower) {
