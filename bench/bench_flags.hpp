@@ -1,0 +1,49 @@
+#pragma once
+/// \file bench_flags.hpp
+/// \brief Shared command-line handling for the bench binaries: a `--threads N`
+///        flag (overrides TPCOOL_NUM_THREADS) so CI and local runs pin the
+///        solver thread count reproducibly.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "tpcool/util/thread_pool.hpp"
+
+namespace tpcool::bench {
+
+/// Consume `--threads N` (or `--threads=N`) from argv, resize the global
+/// solver pool accordingly, and compact argv so downstream parsers (e.g.
+/// Google Benchmark) never see the flag. Returns the thread count in use.
+inline std::size_t apply_threads_flag(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::cerr << "--threads expects a value\n";
+        std::exit(2);
+      }
+      value = argv[++i];
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      value = arg.substr(10);
+    } else {
+      argv[out++] = argv[i];
+      continue;
+    }
+    const long n = std::strtol(value.c_str(), nullptr, 10);
+    if (n < 1) {
+      std::cerr << "--threads expects a positive integer, got '" << value
+                << "'\n";
+      std::exit(2);
+    }
+    tpcool::util::ThreadPool::set_global_thread_count(
+        static_cast<std::size_t>(n));
+  }
+  argc = out;
+  argv[argc] = nullptr;  // keep the argv[argc] == NULL contract
+  return tpcool::util::ThreadPool::global().thread_count();
+}
+
+}  // namespace tpcool::bench

@@ -13,7 +13,10 @@
 #include "tpcool/core/server.hpp"
 #include "tpcool/util/table.hpp"
 
+#include "bench_flags.hpp"
+
 int main(int argc, char** argv) {
+  tpcool::bench::apply_threads_flag(argc, argv);
   using namespace tpcool;
   double cell = 1.0e-3;
   if (argc > 1 && std::string(argv[1]) == "--fast") cell = 1.5e-3;

@@ -12,6 +12,8 @@
 #include "tpcool/core/experiment.hpp"
 #include "tpcool/util/csv.hpp"
 
+#include "bench_flags.hpp"
+
 namespace {
 
 void ascii_map(const tpcool::util::Grid2D<double>& field, double lo,
@@ -32,6 +34,7 @@ void ascii_map(const tpcool::util::Grid2D<double>& field, double lo,
 }  // namespace
 
 int main(int argc, char** argv) {
+  tpcool::bench::apply_threads_flag(argc, argv);
   using namespace tpcool;
   core::ExperimentOptions options;
   if (argc > 1 && std::string(argv[1]) == "--fast") options.cell_size_m = 1.25e-3;

@@ -5,8 +5,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <random>
+
+#include "bench_flags.hpp"
 #include "tpcool/core/server.hpp"
 #include "tpcool/mapping/config_select.hpp"
+#include "tpcool/util/stencil_operator.hpp"
 
 namespace {
 
@@ -85,6 +89,80 @@ void BM_CoupledServerSimulation(benchmark::State& state) {
 BENCHMARK(BM_CoupledServerSimulation)->Arg(15)->Arg(10)
     ->Unit(benchmark::kMillisecond);
 
+/// Synthetic 7-point operator with thermal-like couplings on an
+/// nx x ny x nz cell grid (the package stack is ~70x60x6 at paper pitch).
+util::StencilOperator stencil_like_thermal(std::size_t nx, std::size_t ny,
+                                           std::size_t nz) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> g(0.01, 0.2);
+  util::StencilOperator op(nx, ny, nz);
+  for (std::size_t iz = 0; iz < nz; ++iz) {
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      for (std::size_t ix = 0; ix < nx; ++ix) {
+        const std::size_t i = op.cell_index(ix, iy, iz);
+        if (ix + 1 < nx)
+          op.add_coupling(i, util::StencilBand::kXPlus, g(rng));
+        if (iy + 1 < ny)
+          op.add_coupling(i, util::StencilBand::kYPlus, g(rng));
+        if (iz + 1 < nz)
+          op.add_coupling(i, util::StencilBand::kZPlus, g(rng));
+        op.add_to_diagonal(i, g(rng));
+      }
+    }
+  }
+  return op;
+}
+
+/// SpMV on the banded stencil representation (matrix-free, threaded).
+void BM_SpmvStencil(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const util::StencilOperator op = stencil_like_thermal(n, n, 6);
+  std::vector<double> x(op.size(), 1.0), y;
+  for (auto _ : state) {
+    op.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["cells"] = static_cast<double>(op.size());
+}
+BENCHMARK(BM_SpmvStencil)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+/// SpMV on the same operator converted to CSR (the seed representation).
+void BM_SpmvCsr(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const util::SparseMatrix m =
+      stencil_like_thermal(n, n, 6).to_sparse();
+  std::vector<double> x(m.size(), 1.0), y;
+  for (auto _ : state) {
+    m.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["cells"] = static_cast<double>(m.size());
+}
+BENCHMARK(BM_SpmvCsr)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Full CG solve on the stencil: Jacobi vs SSOR preconditioning.
+void BM_StencilCgSolve(benchmark::State& state) {
+  const util::StencilOperator op = stencil_like_thermal(70, 60, 6);
+  const bool ssor = state.range(0) != 0;
+  const std::vector<double> b(op.size(), 1.0);
+  std::size_t iterations = 0;
+  for (auto _ : state) {
+    std::vector<double> x;
+    const util::CgResult r = util::solve_cg(
+        op, b, x,
+        {.tolerance = 1e-8,
+         .preconditioner = ssor ? util::Preconditioner::kSsor
+                                : util::Preconditioner::kJacobi});
+    iterations = r.iterations;
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.counters["iterations"] = static_cast<double>(iterations);
+  state.SetLabel(ssor ? "ssor" : "jacobi");
+}
+BENCHMARK(BM_StencilCgSolve)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 /// Scheduling decision only (profiling + selection + placement).
 void BM_ScheduleDecision(benchmark::State& state) {
   core::ServerModel server(config_with_cell(1.5e-3));
@@ -100,4 +178,13 @@ BENCHMARK(BM_ScheduleDecision)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): strip --threads (shared bench
+// flag) before Google Benchmark sees the command line.
+int main(int argc, char** argv) {
+  tpcool::bench::apply_threads_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,6 +11,8 @@
 #include "tpcool/core/server.hpp"
 #include "tpcool/util/table.hpp"
 
+#include "bench_flags.hpp"
+
 namespace {
 
 using namespace tpcool;
@@ -35,6 +37,7 @@ double scenario_theta(core::ServerModel& server, int scenario,
 }  // namespace
 
 int main(int argc, char** argv) {
+  tpcool::bench::apply_threads_flag(argc, argv);
   double cell = 1.25e-3;
   if (argc > 1 && std::string(argv[1]) == "--fast") cell = 1.75e-3;
 

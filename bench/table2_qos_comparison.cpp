@@ -13,7 +13,10 @@
 #include "tpcool/core/experiment.hpp"
 #include "tpcool/util/table.hpp"
 
+#include "bench_flags.hpp"
+
 int main(int argc, char** argv) {
+  tpcool::bench::apply_threads_flag(argc, argv);
   using namespace tpcool;
   core::ExperimentOptions options;
   for (int i = 1; i < argc; ++i) {

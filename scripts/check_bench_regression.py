@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Gate solver-performance regressions against a checked-in baseline.
+
+Usage:
+    check_bench_regression.py CURRENT.json BASELINE.json [--max-regress 0.25]
+
+Both files follow the tpcool-solver-bench-v1 schema emitted by
+`solver_scaling --json`. A case regresses when its solve time OR its CG
+iteration count exceeds the baseline by more than --max-regress (relative).
+Iteration counts are machine-independent, so they catch algorithmic
+regressions even on noisy CI runners; times catch constant-factor ones.
+
+Cases present in only one of the two files are reported but do not fail
+the check (the baseline is refreshed whenever cases are added/renamed —
+see README "Solver architecture").
+
+Exit status: 0 = OK, 1 = regression, 2 = bad invocation/input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cases(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "tpcool-solver-bench-v1":
+        print(f"{path}: unexpected schema {doc.get('schema')!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    return {case["name"]: case for case in doc.get("cases", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--max-regress", type=float, default=0.25,
+                        help="allowed relative slowdown (default 0.25)")
+    args = parser.parse_args()
+
+    current = load_cases(args.current)
+    baseline = load_cases(args.baseline)
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            print(f"NOTE  {name}: missing from current run")
+            continue
+        for metric in ("solve_ms", "iterations"):
+            base_v, cur_v = base[metric], cur[metric]
+            if base_v <= 0:
+                continue
+            ratio = cur_v / base_v
+            status = "FAIL" if ratio > 1.0 + args.max_regress else "ok"
+            print(f"{status:4}  {name} {metric}: {cur_v:.3f} vs "
+                  f"baseline {base_v:.3f} ({ratio:.0%} of baseline)")
+            if status == "FAIL":
+                failures.append(f"{name} {metric}")
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"NOTE  {name}: not in baseline (refresh ci/bench_baseline.json)")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond "
+              f"{args.max_regress:.0%}: {', '.join(failures)}")
+        return 1
+    print("\nno solver regressions beyond "
+          f"{args.max_regress:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

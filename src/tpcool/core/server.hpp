@@ -24,6 +24,12 @@ struct ServerConfig {
   double board_htc_w_m2k = 10.0;   ///< Weak secondary path to the board.
   double board_ambient_c = 40.0;   ///< In-chassis air temperature.
   int coupling_iterations = 4;     ///< Thermosyphon<->thermal fixed point.
+  /// Warm-start each coupled solve from the previous temperature field.
+  /// Consecutive solves in a sweep (benchmarks, QoS levels, bisection on
+  /// the operating point) differ by a few degrees, so the CG iteration
+  /// count collapses; converged results are identical within the solver
+  /// tolerance regardless of the start.
+  bool reuse_thermal_state = true;
 };
 
 /// Result of one coupled steady-state simulation.
@@ -103,6 +109,9 @@ class ServerModel {
   workload::Profiler profiler_;
   thermal::ThermalModel thermal_;
   thermosyphon::Thermosyphon syphon_;
+  /// Temperature field of the previous coupled solve; warm-start hint for
+  /// the next one (see ServerConfig::reuse_thermal_state).
+  std::vector<double> last_temperature_;
 };
 
 /// Factory: the paper's proposed, workload-aware design (§VI): east-west

@@ -59,7 +59,7 @@ void ThermalModel::set_bottom_boundary(double htc_w_m2k, double ambient_c) {
 void ThermalModel::assemble() const {
   if (!dirty_) return;
   const std::size_t n = cell_count();
-  util::SparseMatrix m(n);
+  util::StencilOperator m(nx(), ny(), nz());
   boundary_rhs_.assign(n, 0.0);
 
   const double dx = stack_.grid.dx;
@@ -85,59 +85,45 @@ void ThermalModel::assemble() const {
     for (std::size_t iy = 0; iy < ny(); ++iy) {
       for (std::size_t ix = 0; ix < nx(); ++ix) {
         const std::size_t self = cell_index(ix, iy, iz);
-        double diag = 0.0;
 
         if (ix + 1 < nx()) {  // east neighbour
           const double g =
               series(k_of(ix, iy, iz) * (dy * dz) / (0.5 * dx),
                      k_of(ix + 1, iy, iz) * (dy * dz) / (0.5 * dx));
-          const std::size_t other = cell_index(ix + 1, iy, iz);
-          m.add(self, other, -g);
-          m.add(other, self, -g);
-          m.add(other, other, g);
-          diag += g;
+          m.add_coupling(self, util::StencilBand::kXPlus, g);
         }
         if (iy + 1 < ny()) {  // north neighbour
           const double g =
               series(k_of(ix, iy, iz) * (dx * dz) / (0.5 * dy),
                      k_of(ix, iy + 1, iz) * (dx * dz) / (0.5 * dy));
-          const std::size_t other = cell_index(ix, iy + 1, iz);
-          m.add(self, other, -g);
-          m.add(other, self, -g);
-          m.add(other, other, g);
-          diag += g;
+          m.add_coupling(self, util::StencilBand::kYPlus, g);
         }
         if (iz + 1 < nz()) {  // layer above
           const double g =
               series(k_of(ix, iy, iz) * cell_area / (0.5 * dz),
                      k_of(ix, iy, iz + 1) * cell_area / (0.5 * dz_of(iz + 1)));
-          const std::size_t other = cell_index(ix, iy, iz + 1);
-          m.add(self, other, -g);
-          m.add(other, self, -g);
-          m.add(other, other, g);
-          diag += g;
+          m.add_coupling(self, util::StencilBand::kZPlus, g);
         }
         if (iz + 1 == nz()) {  // top convective boundary
           const double h = top_.htc_w_m2k(ix, iy);
           if (h > 0.0) {
             const double g = series(k_of(ix, iy, iz) * cell_area / (0.5 * dz),
                                     h * cell_area);
-            diag += g;
+            m.add_to_diagonal(self, g);
             boundary_rhs_[self] += g * top_.fluid_temp_c(ix, iy);
           }
         }
         if (iz == 0 && bottom_htc_w_m2k_ > 0.0) {  // bottom boundary
           const double g = series(k_of(ix, iy, iz) * cell_area / (0.5 * dz),
                                   bottom_htc_w_m2k_ * cell_area);
-          diag += g;
+          m.add_to_diagonal(self, g);
           boundary_rhs_[self] += g * bottom_ambient_c_;
         }
-        if (diag > 0.0) m.add(self, self, diag);
       }
     }
   }
-  m.finalize();
-  matrix_ = std::move(m);
+  operator_ = std::move(m);
+  step_operator_valid_ = false;
   dirty_ = false;
 }
 

@@ -14,6 +14,7 @@
 #include "tpcool/thermal/stack.hpp"
 #include "tpcool/util/grid2d.hpp"
 #include "tpcool/util/linear_solver.hpp"
+#include "tpcool/util/stencil_operator.hpp"
 
 namespace tpcool::thermal {
 
@@ -60,6 +61,12 @@ class ThermalModel {
   [[nodiscard]] std::vector<double> solve_steady(
       const std::vector<double>& hint = {}) const;
 
+  /// Iteration/residual statistics of the most recent steady or transient
+  /// solve (feeds the solver benchmarks).
+  [[nodiscard]] const util::CgResult& last_solve_stats() const noexcept {
+    return last_stats_;
+  }
+
   /// Advance one backward-Euler step of length `dt_s` from state `t`
   /// (modified in place).
   void step_transient(std::vector<double>& t, double dt_s) const;
@@ -89,10 +96,17 @@ class ThermalModel {
   double bottom_htc_w_m2k_ = 10.0;
   double bottom_ambient_c_ = 40.0;
 
-  // Lazily assembled operator; mutable because assembly is a cache.
+  // Lazily assembled operator; mutable because assembly is a cache. The
+  // 7-point conductance operator is stored banded (StencilOperator), not
+  // CSR: matrix-free SpMV plus SSOR sweeps over the bands.
   mutable bool dirty_ = true;
-  mutable util::SparseMatrix matrix_{1};
+  mutable util::StencilOperator operator_{1, 1, 1};
   mutable std::vector<double> boundary_rhs_;  // G_b·T_fluid terms
+  mutable util::CgResult last_stats_;
+  // Transient step operator (G + C/dt): bands cached from operator_, only
+  // the diagonal is re-shifted per step.
+  mutable util::StencilOperator step_operator_{1, 1, 1};
+  mutable bool step_operator_valid_ = false;
 };
 
 }  // namespace tpcool::thermal

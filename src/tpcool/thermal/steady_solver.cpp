@@ -15,8 +15,15 @@ std::vector<double> ThermalModel::solve_steady(
   }
   std::vector<double> t = hint;
   if (t.size() != n) t.assign(n, 40.0);  // rough initial guess [°C]
-  util::solve_cg(matrix_, rhs, t,
-                 {.tolerance = 1e-8, .max_iterations = 50000});
+  // SSOR-preconditioned CG over the banded operator: ~3-5x fewer
+  // iterations than Jacobi on this stencil, and warm starts from `hint`
+  // (previous fixed-point iterate or previous sweep point) cut the rest.
+  last_stats_ = util::solve_cg(
+      operator_, rhs, t,
+      {.tolerance = 1e-8,
+       .max_iterations = 50000,
+       .preconditioner = util::Preconditioner::kSsor,
+       .ssor_omega = 1.7});
   return t;
 }
 

@@ -12,9 +12,9 @@ void ThermalModel::step_transient(std::vector<double>& t, double dt_s) const {
   TPCOOL_REQUIRE(t.size() == n, "state vector size mismatch");
 
   // Backward Euler: (C/dt + G)·T⁺ = C/dt·T + P + boundary.
-  // G is the assembled steady operator; C/dt is diagonal, so we run a
-  // matrix-free Jacobi-preconditioned CG on the summed operator instead of
-  // re-assembling a second sparse matrix every step.
+  // G is the assembled steady operator; C/dt is diagonal, so the step
+  // operator is the same 7-point stencil with a shifted diagonal — copy
+  // the bands and augment, then reuse the shared PCG path.
   const double cell_area = stack_.grid.dx * stack_.grid.dy;
   std::vector<double> cdiag(n, 0.0);
   std::vector<double> rhs = boundary_rhs_;
@@ -30,51 +30,18 @@ void ThermalModel::step_transient(std::vector<double>& t, double dt_s) const {
     }
   }
 
-  std::vector<double> x = t;  // warm start from the previous state
-  std::vector<double> r(n), z(n), p(n), ap(n);
-  const auto apply = [&](const std::vector<double>& in,
-                         std::vector<double>& out) {
-    matrix_.multiply(in, out);
-    for (std::size_t i = 0; i < n; ++i) out[i] += cdiag[i] * in[i];
-  };
-
-  std::vector<double> inv_diag = matrix_.diagonal();
-  for (std::size_t i = 0; i < n; ++i) inv_diag[i] = 1.0 / (inv_diag[i] + cdiag[i]);
-
-  apply(x, ap);
-  double bnorm = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    r[i] = rhs[i] - ap[i];
-    bnorm += rhs[i] * rhs[i];
+  if (!step_operator_valid_) {
+    step_operator_ = operator_;  // copies the bands once per assembly
+    step_operator_valid_ = true;
   }
-  bnorm = std::sqrt(bnorm);
-  if (bnorm == 0.0) bnorm = 1.0;
+  step_operator_.set_shifted_diagonal(operator_, cdiag);
 
-  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
-  p = z;
-  double rz = 0.0;
-  for (std::size_t i = 0; i < n; ++i) rz += r[i] * z[i];
-
-  constexpr std::size_t kMaxIterations = 20000;
-  for (std::size_t it = 0; it < kMaxIterations; ++it) {
-    double rnorm = 0.0;
-    for (const double v : r) rnorm += v * v;
-    if (std::sqrt(rnorm) / bnorm < 1e-9) break;
-    apply(p, ap);
-    double pap = 0.0;
-    for (std::size_t i = 0; i < n; ++i) pap += p[i] * ap[i];
-    TPCOOL_ENSURE(pap > 0.0, "transient operator lost positive-definiteness");
-    const double alpha = rz / pap;
-    for (std::size_t i = 0; i < n; ++i) x[i] += alpha * p[i];
-    for (std::size_t i = 0; i < n; ++i) r[i] -= alpha * ap[i];
-    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
-    double rz_new = 0.0;
-    for (std::size_t i = 0; i < n; ++i) rz_new += r[i] * z[i];
-    const double beta = rz_new / rz;
-    rz = rz_new;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
-  }
-  t = std::move(x);
+  // Warm start from the previous state: consecutive steps differ little.
+  last_stats_ = util::solve_cg(
+      step_operator_, rhs, t,
+      {.tolerance = 1e-9,
+       .max_iterations = 20000,
+       .preconditioner = util::Preconditioner::kSsor});
 }
 
 }  // namespace tpcool::thermal

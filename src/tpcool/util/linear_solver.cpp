@@ -4,6 +4,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "tpcool/util/stencil_operator.hpp"
+#include "tpcool/util/thread_pool.hpp"
+
 namespace tpcool::util {
 
 SparseMatrix::SparseMatrix(std::size_t n) : n_(n) {
@@ -103,19 +106,75 @@ bool SparseMatrix::is_symmetric(double tol) const {
 
 namespace {
 
+/// Vector lengths below this run the CG kernels serially: the thermal
+/// grid's auxiliary systems (and every unit-test system) are far smaller
+/// and must not pay pool synchronization. One grain == inline execution.
+constexpr std::size_t kVectorGrain = 1 << 14;
+
 double dot(const std::vector<double>& a, const std::vector<double>& b) {
-  return std::inner_product(a.begin(), a.end(), b.begin(), 0.0);
+  return ThreadPool::global().parallel_reduce(
+      0, a.size(), kVectorGrain, [&](std::size_t lo, std::size_t hi) {
+        return std::inner_product(a.begin() + static_cast<std::ptrdiff_t>(lo),
+                                  a.begin() + static_cast<std::ptrdiff_t>(hi),
+                                  b.begin() + static_cast<std::ptrdiff_t>(lo),
+                                  0.0);
+      });
 }
 
 double norm2(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
 
-}  // namespace
+/// Element-wise kernel over [0, n): disjoint writes, deterministic.
+template <typename F>
+void foreach_element(std::size_t n, F&& f) {
+  ThreadPool::global().parallel_for(0, n, kVectorGrain,
+                                    [&](std::size_t lo, std::size_t hi) {
+                                      for (std::size_t i = lo; i < hi; ++i)
+                                        f(i);
+                                    });
+}
 
-CgResult solve_cg(const SparseMatrix& a, const std::vector<double>& b,
-                  std::vector<double>& x, const CgOptions& options) {
-  TPCOOL_REQUIRE(a.finalized(), "solve_cg: matrix not finalized");
+/// SSOR application for the general CSR matrix (CSR columns are sorted, so
+/// the forward/backward triangular sweeps just split each row at the
+/// diagonal). Used when callers request SSOR on a SparseMatrix system.
+void ssor_apply(const SparseMatrix& a, const std::vector<double>& diag,
+                const std::vector<double>& r, std::vector<double>& z,
+                double omega) {
+  const std::size_t n = a.size();
+  z.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {  // (D + ωL) t = r
+    double acc = r[i];
+    a.for_each_in_row(i, [&](std::size_t j, double v) {
+      if (j < i) acc -= omega * v * z[j];
+    });
+    z[i] = acc / diag[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) z[i] *= diag[i];
+  for (std::size_t i = n; i-- > 0;) {  // (D + ωU) z = D t
+    double acc = z[i];
+    a.for_each_in_row(i, [&](std::size_t j, double v) {
+      if (j > i) acc -= omega * v * z[j];
+    });
+    z[i] = acc / diag[i];
+  }
+}
+
+void ssor_apply(const StencilOperator& a, const std::vector<double>& /*diag*/,
+                const std::vector<double>& r, std::vector<double>& z,
+                double omega) {
+  a.ssor_apply(r, z, omega);
+}
+
+/// Preconditioned CG over any operator providing size()/multiply()/
+/// diagonal() plus an ssor_apply overload above. The convergence check
+/// runs after each update, so the final residual is never recomputed and
+/// `iterations` is always populated — including on the throw path.
+template <typename Op>
+CgResult cg_impl(const Op& a, const std::vector<double>& b,
+                 std::vector<double>& x, const CgOptions& options) {
   const std::size_t n = a.size();
   TPCOOL_REQUIRE(b.size() == n, "solve_cg: rhs size mismatch");
+  TPCOOL_REQUIRE(options.ssor_omega > 0.0 && options.ssor_omega < 2.0,
+                 "solve_cg: SSOR omega outside (0, 2)");
   if (x.size() != n) x.assign(n, 0.0);
 
   const double bnorm = norm2(b);
@@ -124,46 +183,75 @@ CgResult solve_cg(const SparseMatrix& a, const std::vector<double>& b,
     return {0, 0.0};
   }
 
-  std::vector<double> inv_diag = a.diagonal();
-  for (auto& d : inv_diag) {
-    TPCOOL_ENSURE(d > 0.0, "solve_cg: non-positive diagonal (matrix not SPD?)");
-    d = 1.0 / d;
+  std::vector<double> diag = a.diagonal();
+  std::vector<double> inv_diag(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TPCOOL_ENSURE(diag[i] > 0.0,
+                  "solve_cg: non-positive diagonal (matrix not SPD?)");
+    inv_diag[i] = 1.0 / diag[i];
   }
+  const bool ssor = options.preconditioner == Preconditioner::kSsor;
+  const auto precondition = [&](const std::vector<double>& r,
+                                std::vector<double>& z) {
+    if (ssor) {
+      ssor_apply(a, diag, r, z, options.ssor_omega);
+    } else {
+      z.resize(n);
+      foreach_element(n, [&](std::size_t i) { z[i] = inv_diag[i] * r[i]; });
+    }
+  };
 
   std::vector<double> r(n), z(n), p(n), ap(n);
   a.multiply(x, ap);
-  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
-  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  foreach_element(n, [&](std::size_t i) { r[i] = b[i] - ap[i]; });
+
+  CgResult result;
+  result.residual = norm2(r) / bnorm;
+  if (result.residual <= options.tolerance) return result;  // warm-start hit
+
+  precondition(r, z);
   p = z;
   double rz = dot(r, z);
 
-  CgResult result;
-  for (std::size_t it = 0; it < options.max_iterations; ++it) {
-    result.residual = norm2(r) / bnorm;
-    if (result.residual <= options.tolerance) {
-      result.iterations = it;
-      return result;
-    }
+  for (std::size_t it = 1; it <= options.max_iterations; ++it) {
     a.multiply(p, ap);
     const double pap = dot(p, ap);
-    TPCOOL_ENSURE(pap > 0.0, "solve_cg: curvature non-positive (matrix not SPD?)");
+    TPCOOL_ENSURE(pap > 0.0,
+                  "solve_cg: curvature non-positive (matrix not SPD?)");
     const double alpha = rz / pap;
-    for (std::size_t i = 0; i < n; ++i) x[i] += alpha * p[i];
-    for (std::size_t i = 0; i < n; ++i) r[i] -= alpha * ap[i];
-    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    foreach_element(n, [&](std::size_t i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    });
+    result.iterations = it;
+    result.residual = norm2(r) / bnorm;
+    if (result.residual <= options.tolerance) return result;
+    precondition(r, z);
     const double rz_new = dot(r, z);
     const double beta = rz_new / rz;
     rz = rz_new;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    foreach_element(n, [&](std::size_t i) { p[i] = z[i] + beta * p[i]; });
   }
-  result.residual = norm2(r) / bnorm;
   if (result.residual <= options.tolerance * 10.0) {
     // Accept near-converged solutions rather than failing outright.
-    result.iterations = options.max_iterations;
     return result;
   }
   throw ConvergenceError("solve_cg: failed to converge (residual " +
-                         std::to_string(result.residual) + ")");
+                         std::to_string(result.residual) + " after " +
+                         std::to_string(result.iterations) + " iterations)");
+}
+
+}  // namespace
+
+CgResult solve_cg(const SparseMatrix& a, const std::vector<double>& b,
+                  std::vector<double>& x, const CgOptions& options) {
+  TPCOOL_REQUIRE(a.finalized(), "solve_cg: matrix not finalized");
+  return cg_impl(a, b, x, options);
+}
+
+CgResult solve_cg(const StencilOperator& a, const std::vector<double>& b,
+                  std::vector<double>& x, const CgOptions& options) {
+  return cg_impl(a, b, x, options);
 }
 
 CgResult solve_sor(const SparseMatrix& a, const std::vector<double>& b,
@@ -187,6 +275,13 @@ CgResult solve_sor(const SparseMatrix& a, const std::vector<double>& b,
 
   CgResult result;
   std::vector<double> r(n);
+  // Warm-start check: an already-converged initial guess costs one SpMV,
+  // not a full block of sweeps.
+  a.multiply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  result.residual = norm2(r) / bnorm;
+  if (result.residual <= options.tolerance) return result;
+
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     // One SOR sweep.
     for (std::size_t i = 0; i < n; ++i) {

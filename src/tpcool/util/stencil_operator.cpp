@@ -1,0 +1,219 @@
+#include "tpcool/util/stencil_operator.hpp"
+
+#include <algorithm>
+
+#include "tpcool/util/thread_pool.hpp"
+
+namespace tpcool::util {
+
+namespace {
+
+/// Rows of cells (nx indices each) per parallel chunk: keeps chunks around
+/// a few thousand cells so tiny systems run inline (see ThreadPool grain
+/// semantics) and chunk boundaries never split an x-row.
+constexpr std::size_t kRowsPerChunk = 64;
+
+StencilBand opposite(StencilBand band) {
+  switch (band) {
+    case StencilBand::kXMinus: return StencilBand::kXPlus;
+    case StencilBand::kXPlus: return StencilBand::kXMinus;
+    case StencilBand::kYMinus: return StencilBand::kYPlus;
+    case StencilBand::kYPlus: return StencilBand::kYMinus;
+    case StencilBand::kZMinus: return StencilBand::kZPlus;
+    case StencilBand::kZPlus: return StencilBand::kZMinus;
+  }
+  TPCOOL_ENSURE(false, "invalid stencil band");
+  return StencilBand::kXMinus;
+}
+
+}  // namespace
+
+StencilOperator::StencilOperator(std::size_t nx, std::size_t ny,
+                                 std::size_t nz)
+    : nx_(nx), ny_(ny), nz_(nz) {
+  TPCOOL_REQUIRE(nx > 0 && ny > 0 && nz > 0,
+                 "stencil dimensions must be positive");
+  const std::size_t n = nx * ny * nz;
+  diag_.assign(n, 0.0);
+  for (auto& band : bands_) band.assign(n, 0.0);
+}
+
+std::size_t StencilOperator::neighbor_index(std::size_t i,
+                                            StencilBand band) const {
+  const std::size_t ix = i % nx_;
+  const std::size_t iy = (i / nx_) % ny_;
+  const std::size_t iz = i / (nx_ * ny_);
+  switch (band) {
+    case StencilBand::kXMinus:
+      TPCOOL_REQUIRE(ix > 0, "no x- neighbour at grid edge");
+      return i - 1;
+    case StencilBand::kXPlus:
+      TPCOOL_REQUIRE(ix + 1 < nx_, "no x+ neighbour at grid edge");
+      return i + 1;
+    case StencilBand::kYMinus:
+      TPCOOL_REQUIRE(iy > 0, "no y- neighbour at grid edge");
+      return i - nx_;
+    case StencilBand::kYPlus:
+      TPCOOL_REQUIRE(iy + 1 < ny_, "no y+ neighbour at grid edge");
+      return i + nx_;
+    case StencilBand::kZMinus:
+      TPCOOL_REQUIRE(iz > 0, "no z- neighbour at grid edge");
+      return i - nx_ * ny_;
+    case StencilBand::kZPlus:
+      TPCOOL_REQUIRE(iz + 1 < nz_, "no z+ neighbour at grid edge");
+      return i + nx_ * ny_;
+  }
+  TPCOOL_ENSURE(false, "invalid stencil band");
+  return i;
+}
+
+void StencilOperator::add_coupling(std::size_t i, StencilBand band, double g) {
+  TPCOOL_REQUIRE(i < size(), "cell index out of range");
+  const std::size_t j = neighbor_index(i, band);
+  bands_[static_cast<std::size_t>(band)][i] -= g;
+  bands_[static_cast<std::size_t>(opposite(band))][j] -= g;
+  diag_[i] += g;
+  diag_[j] += g;
+}
+
+void StencilOperator::add_to_diagonal(std::size_t i, double value) {
+  TPCOOL_REQUIRE(i < size(), "cell index out of range");
+  diag_[i] += value;
+}
+
+void StencilOperator::add_diagonal(const std::vector<double>& values) {
+  TPCOOL_REQUIRE(values.size() == size(), "diagonal size mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) diag_[i] += values[i];
+}
+
+void StencilOperator::set_shifted_diagonal(const StencilOperator& base,
+                                           const std::vector<double>& shift) {
+  TPCOOL_REQUIRE(base.nx_ == nx_ && base.ny_ == ny_ && base.nz_ == nz_,
+                 "grid mismatch");
+  TPCOOL_REQUIRE(shift.size() == size(), "diagonal size mismatch");
+  for (std::size_t i = 0; i < size(); ++i) diag_[i] = base.diag_[i] + shift[i];
+}
+
+void StencilOperator::multiply(const std::vector<double>& x,
+                               std::vector<double>& y) const {
+  TPCOOL_REQUIRE(x.size() == size(), "vector size mismatch");
+  y.resize(size());
+  const std::size_t plane = nx_ * ny_;
+  const std::size_t row_count = ny_ * nz_;
+  const double* xs = x.data();
+
+  // Disjoint x-rows per chunk: deterministic for any thread count.
+  ThreadPool::global().parallel_for(
+      0, row_count, kRowsPerChunk,
+      [&](std::size_t row_begin, std::size_t row_end) {
+        for (std::size_t row = row_begin; row < row_end; ++row) {
+          const std::size_t iy = row % ny_;
+          const std::size_t iz = row / ny_;
+          const std::size_t base = row * nx_;
+          const bool has_ym = iy > 0;
+          const bool has_yp = iy + 1 < ny_;
+          const bool has_zm = iz > 0;
+          const bool has_zp = iz + 1 < nz_;
+          for (std::size_t ix = 0; ix < nx_; ++ix) {
+            const std::size_t i = base + ix;
+            double acc = diag_[i] * xs[i];
+            if (ix > 0) acc += bands_[0][i] * xs[i - 1];
+            if (ix + 1 < nx_) acc += bands_[1][i] * xs[i + 1];
+            if (has_ym) acc += bands_[2][i] * xs[i - nx_];
+            if (has_yp) acc += bands_[3][i] * xs[i + nx_];
+            if (has_zm) acc += bands_[4][i] * xs[i - plane];
+            if (has_zp) acc += bands_[5][i] * xs[i + plane];
+            y[i] = acc;
+          }
+        }
+      });
+}
+
+void StencilOperator::ssor_apply(const std::vector<double>& r,
+                                 std::vector<double>& z, double omega) const {
+  TPCOOL_REQUIRE(r.size() == size(), "vector size mismatch");
+  TPCOOL_REQUIRE(omega > 0.0 && omega < 2.0, "SSOR omega outside (0, 2)");
+  const std::size_t n = size();
+  const std::size_t plane = nx_ * ny_;
+  z.resize(n);
+
+  // Forward sweep: (D + ωL) t = r.  Lower neighbours of cell i are exactly
+  // i-1, i-nx, i-plane, all already computed when iterating i ascending.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t ix = i % nx_;
+    double acc = r[i];
+    if (ix > 0) acc -= omega * bands_[0][i] * z[i - 1];
+    if (i >= nx_ && (i / nx_) % ny_ > 0) acc -= omega * bands_[2][i] * z[i - nx_];
+    if (i >= plane) acc -= omega * bands_[4][i] * z[i - plane];
+    TPCOOL_ENSURE(diag_[i] > 0.0, "ssor_apply: non-positive diagonal");
+    z[i] = acc / diag_[i];
+  }
+  // Scale by D: s = D t (in place).
+  for (std::size_t i = 0; i < n; ++i) z[i] *= diag_[i];
+  // Backward sweep: (D + ωU) z = s.
+  for (std::size_t i = n; i-- > 0;) {
+    const std::size_t ix = i % nx_;
+    double acc = z[i];
+    if (ix + 1 < nx_) acc -= omega * bands_[1][i] * z[i + 1];
+    if ((i / nx_) % ny_ + 1 < ny_) acc -= omega * bands_[3][i] * z[i + nx_];
+    if (i + plane < n) acc -= omega * bands_[5][i] * z[i + plane];
+    z[i] = acc / diag_[i];
+  }
+}
+
+SparseMatrix StencilOperator::to_sparse() const {
+  SparseMatrix m(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (diag_[i] != 0.0) m.add(i, i, diag_[i]);
+    const std::size_t ix = i % nx_;
+    const std::size_t iy = (i / nx_) % ny_;
+    const std::size_t iz = i / (nx_ * ny_);
+    const std::size_t plane = nx_ * ny_;
+    if (ix > 0 && bands_[0][i] != 0.0) m.add(i, i - 1, bands_[0][i]);
+    if (ix + 1 < nx_ && bands_[1][i] != 0.0) m.add(i, i + 1, bands_[1][i]);
+    if (iy > 0 && bands_[2][i] != 0.0) m.add(i, i - nx_, bands_[2][i]);
+    if (iy + 1 < ny_ && bands_[3][i] != 0.0) m.add(i, i + nx_, bands_[3][i]);
+    if (iz > 0 && bands_[4][i] != 0.0) m.add(i, i - plane, bands_[4][i]);
+    if (iz + 1 < nz_ && bands_[5][i] != 0.0) m.add(i, i + plane, bands_[5][i]);
+  }
+  m.finalize();
+  return m;
+}
+
+StencilOperator StencilOperator::from_sparse(const SparseMatrix& m,
+                                             std::size_t nx, std::size_t ny,
+                                             std::size_t nz) {
+  TPCOOL_REQUIRE(m.finalized(), "from_sparse: matrix not finalized");
+  TPCOOL_REQUIRE(m.size() == nx * ny * nz,
+                 "from_sparse: dimension mismatch with grid");
+  StencilOperator op(nx, ny, nz);
+  const std::size_t plane = nx * ny;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const std::size_t ix = i % nx;
+    const std::size_t iy = (i / nx) % ny;
+    const std::size_t iz = i / plane;
+    m.for_each_in_row(i, [&](std::size_t j, double v) {
+      if (j == i) {
+        op.diag_[i] = v;
+      } else if (j + 1 == i && ix > 0) {
+        op.bands_[0][i] = v;
+      } else if (j == i + 1 && ix + 1 < nx) {
+        op.bands_[1][i] = v;
+      } else if (j + nx == i && iy > 0) {
+        op.bands_[2][i] = v;
+      } else if (j == i + nx && iy + 1 < ny) {
+        op.bands_[3][i] = v;
+      } else if (j + plane == i && iz > 0) {
+        op.bands_[4][i] = v;
+      } else if (j == i + plane && iz + 1 < nz) {
+        op.bands_[5][i] = v;
+      } else {
+        TPCOOL_REQUIRE(v == 0.0,
+                       "from_sparse: nonzero outside the 7-point stencil");
+      }
+    });
+  }
+  return op;
+}
+
+}  // namespace tpcool::util

@@ -1,0 +1,158 @@
+#include "tpcool/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::util {
+
+std::size_t ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("TPCOOL_NUM_THREADS")) {
+    // Strict parse: reject garbage and non-positive values rather than
+    // silently running single-threaded with a typo'd override.
+    try {
+      const long v = std::stol(env);
+      if (v >= 1) return static_cast<std::size_t>(v);
+    } catch (const std::exception&) {
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_thread_count();
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back(
+        [this](const std::stop_token& stop) { worker_loop(stop); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    // Hold the mutex while requesting stop: otherwise a worker that just
+    // evaluated its wait predicate (false) but has not yet blocked would
+    // miss the notification and the jthread join below would deadlock.
+    std::lock_guard lock(mutex_);
+    for (auto& w : workers_) w.request_stop();
+  }
+  work_ready_.notify_all();
+  // jthread joins in its destructor.
+}
+
+void ThreadPool::worker_loop(const std::stop_token& stop) {
+  std::unique_lock lock(mutex_);
+  std::size_t seen_generation = 0;
+  while (true) {
+    work_ready_.wait(lock, [&] {
+      return stop.stop_requested() ||
+             (job_active_ && job_.generation != seen_generation);
+    });
+    if (stop.stop_requested()) return;
+    seen_generation = job_.generation;
+    drain_job(lock);
+  }
+}
+
+void ThreadPool::drain_job(std::unique_lock<std::mutex>& lock) {
+  while (job_.next_chunk < job_.chunk_count) {
+    const std::size_t chunk = job_.next_chunk++;
+    const std::size_t lo = job_.begin + chunk * job_.grain;
+    const std::size_t hi = std::min(lo + job_.grain, job_.end);
+    const auto* body = job_.body;
+    lock.unlock();
+    (*body)(lo, hi);
+    lock.lock();
+    if (++job_.chunks_done == job_.chunk_count) job_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  TPCOOL_REQUIRE(begin <= end && grain > 0, "bad parallel_for range");
+  if (begin == end) return;
+  const std::size_t count = end - begin;
+  if (workers_.empty() || count <= grain) {
+    // Serial path: keep the exact chunk boundaries of the threaded path so
+    // chunk-indexed bodies (parallel_reduce) behave identically.
+    for (std::size_t lo = begin; lo < end; lo += grain) {
+      body(lo, std::min(lo + grain, end));
+    }
+    return;
+  }
+
+  std::unique_lock lock(mutex_);
+  if (job_active_) {
+    // Another caller's job is in flight (concurrent solves sharing the
+    // global pool, or a nested call from a worker body): degrade to the
+    // serial chunked path instead of corrupting the active job.
+    lock.unlock();
+    for (std::size_t lo = begin; lo < end; lo += grain) {
+      body(lo, std::min(lo + grain, end));
+    }
+    return;
+  }
+  job_.body = &body;
+  job_.begin = begin;
+  job_.end = end;
+  job_.grain = grain;
+  job_.next_chunk = 0;
+  job_.chunk_count = (count + grain - 1) / grain;
+  job_.chunks_done = 0;
+  ++job_.generation;
+  job_active_ = true;
+  work_ready_.notify_all();
+
+  drain_job(lock);  // the caller works too
+  job_done_.wait(lock, [&] { return job_.chunks_done == job_.chunk_count; });
+  job_active_ = false;
+}
+
+double ThreadPool::parallel_reduce(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<double(std::size_t, std::size_t)>& partial) {
+  TPCOOL_REQUIRE(begin <= end && grain > 0, "bad parallel_reduce range");
+  if (begin == end) return 0.0;
+  const std::size_t count = end - begin;
+  if (count <= grain) return partial(begin, end);
+
+  const std::size_t chunk_count = (count + grain - 1) / grain;
+  std::vector<double> partials(chunk_count, 0.0);
+  parallel_for(begin, end, grain, [&](std::size_t lo, std::size_t hi) {
+    partials[(lo - begin) / grain] = partial(lo, hi);
+  });
+  // Combine in chunk order: the sum is independent of the thread count.
+  double sum = 0.0;
+  for (const double p : partials) sum += p;
+  return sum;
+}
+
+namespace {
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+std::mutex& global_pool_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard lock(global_pool_mutex());
+  auto& slot = global_pool_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void ThreadPool::set_global_thread_count(std::size_t threads) {
+  std::lock_guard lock(global_pool_mutex());
+  global_pool_slot() = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace tpcool::util

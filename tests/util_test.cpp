@@ -172,6 +172,82 @@ TEST(SolveCg, ZeroRhsGivesZero) {
   EXPECT_DOUBLE_EQ(x[0], 0.0);
 }
 
+TEST(SolveCg, OneByOneSystem) {
+  SparseMatrix m(1);
+  m.add(0, 0, 5.0);
+  m.finalize();
+  std::vector<double> x;
+  const CgResult r = solve_cg(m, {10.0}, x);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_LE(r.iterations, 1u);
+}
+
+TEST(SolveCg, ExactWarmStartConvergesInZeroIterations) {
+  SparseMatrix m(2);
+  m.add(0, 0, 2.0);
+  m.add(1, 1, 4.0);
+  m.finalize();
+  std::vector<double> x{3.0, 0.5};  // exact solution of {6, 2}
+  const CgResult r = solve_cg(m, {6.0, 2.0}, x);
+  EXPECT_EQ(r.iterations, 0u);
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.5);
+}
+
+TEST(SolveCg, SsorPreconditionerSolvesSparseSystem) {
+  constexpr std::size_t n = 30;
+  SparseMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double diag = 0.3;
+    if (i > 0) {
+      m.add(i, i - 1, -1.0);
+      diag += 1.0;
+    }
+    if (i + 1 < n) {
+      m.add(i, i + 1, -1.0);
+      diag += 1.0;
+    }
+    m.add(i, i, diag);
+  }
+  m.finalize();
+  std::vector<double> b(n, 1.0), x_ssor, x_jacobi;
+  const CgResult ssor = solve_cg(
+      m, b, x_ssor,
+      {.tolerance = 1e-11, .preconditioner = Preconditioner::kSsor});
+  const CgResult jacobi = solve_cg(m, b, x_jacobi, {.tolerance = 1e-11});
+  EXPECT_LE(ssor.residual, 1e-11);
+  EXPECT_LE(ssor.iterations, jacobi.iterations);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x_ssor[i], x_jacobi[i], 1e-8);
+}
+
+TEST(SolveCg, NonConvergedThrowReportsIterations) {
+  constexpr std::size_t n = 50;
+  SparseMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double diag = 1e-3;
+    if (i > 0) {
+      m.add(i, i - 1, -1.0);
+      diag += 1.0;
+    }
+    if (i + 1 < n) {
+      m.add(i, i + 1, -1.0);
+      diag += 1.0;
+    }
+    m.add(i, i, diag);
+  }
+  m.finalize();
+  std::vector<double> x;
+  try {
+    (void)solve_cg(m, std::vector<double>(n, 1.0), x,
+                   {.tolerance = 1e-15, .max_iterations = 3});
+    FAIL() << "expected ConvergenceError";
+  } catch (const ConvergenceError& e) {
+    EXPECT_NE(std::string(e.what()).find("after 3 iterations"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(SolveCg, NonSpdDiagonalThrows) {
   SparseMatrix m(2);
   m.add(0, 0, -1.0);
@@ -234,6 +310,44 @@ TEST(SolveSor, GaussSeidelIsOmegaOne) {
   const auto exact = solve_dense({4.0, 1.0, 1.0, 3.0}, {1.0, 2.0});
   EXPECT_NEAR(x[0], exact[0], 1e-7);
   EXPECT_NEAR(x[1], exact[1], 1e-7);
+}
+
+TEST(SolveSor, ZeroRhsGivesZero) {
+  SparseMatrix m(2);
+  m.add(0, 0, 1.0);
+  m.add(1, 1, 1.0);
+  m.finalize();
+  std::vector<double> x{5.0, -5.0};
+  const CgResult r = solve_sor(m, {0.0, 0.0}, x);
+  EXPECT_EQ(r.iterations, 0u);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+}
+
+TEST(SolveSor, OneByOneSystem) {
+  SparseMatrix m(1);
+  m.add(0, 0, 2.0);
+  m.finalize();
+  std::vector<double> x;
+  // Gauss-Seidel (ω = 1) lands exactly in one sweep; the first residual
+  // check happens after the 4-sweep block.
+  const CgResult r = solve_sor(m, {6.0}, x, {.relaxation = 1.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-9);
+  EXPECT_LE(r.iterations, 4u);
+}
+
+TEST(SolveSor, ExactWarmStartConvergesInZeroIterations) {
+  SparseMatrix m(2);
+  m.add(0, 0, 4.0);
+  m.add(0, 1, 1.0);
+  m.add(1, 0, 1.0);
+  m.add(1, 1, 3.0);
+  m.finalize();
+  const auto exact = solve_dense({4.0, 1.0, 1.0, 3.0}, {1.0, 2.0});
+  std::vector<double> x = exact;
+  const CgResult r = solve_sor(m, {1.0, 2.0}, x, {.tolerance = 1e-8});
+  EXPECT_EQ(r.iterations, 0u);
+  EXPECT_EQ(x, exact);  // untouched
 }
 
 TEST(SolveSor, RejectsBadRelaxation) {
