@@ -3,11 +3,15 @@
 ///        heuristic to the thermally optimal placement found by exhaustive
 ///        search over all C(8, Nc) core subsets (each evaluated through the
 ///        full coupled simulation)?
+///
+/// The subset sweep fans out over the thread pool (`--threads N`) through
+/// the shared solve cache; the per-policy costs afterwards are cache hits
+/// because every policy's placement is one of the enumerated subsets.
 
 #include <iostream>
-#include <map>
 
-#include "tpcool/core/server.hpp"
+#include "tpcool/core/parallel.hpp"
+#include "tpcool/core/solve_cache.hpp"
 #include "tpcool/mapping/balancing.hpp"
 #include "tpcool/mapping/clustered.hpp"
 #include "tpcool/mapping/exhaustive.hpp"
@@ -25,30 +29,29 @@ int main(int argc, char** argv) {
   std::cout << "== Ablation: proposed heuristic vs exhaustive oracle "
                "(die theta-max [C], x264, C1E idles) ==\n\n";
 
-  core::ServerConfig config;
-  config.stack.cell_size_m = cell;
-  config.design.evaporator = core::default_evaporator_geometry(
-      thermosyphon::Orientation::kEastWest);
-  core::ServerModel server(std::move(config));
+  // The ablation server is the proposed design; running it through the
+  // pipeline scope lets every policy cost below hit the oracle's entries.
+  core::ApproachPipeline pipeline(core::Approach::kProposed, cell);
+  core::ServerModel& server = pipeline.server();
+  server.enable_solve_cache(core::SolveCache::global(),
+                            core::solve_scope(core::Approach::kProposed, cell));
   const auto& bench = workload::find_benchmark("x264");
 
   util::TablePrinter table({"cores", "oracle best", "proposed", "gap",
                             "balancing[9]", "clustered", "subsets"});
   for (const int nc : {2, 3, 4, 5}) {
     const workload::Configuration cfg{nc, 2, 3.2};
-    std::map<std::vector<int>, double> cache;
     const auto cost_of = [&](const std::vector<int>& cores) {
-      std::vector<int> key = cores;
-      std::sort(key.begin(), key.end());
-      const auto [it, inserted] = cache.try_emplace(key, 0.0);
-      if (inserted) {
-        it->second =
-            server.simulate(bench, cfg, cores, power::CState::kC1E).die.max_c;
-      }
-      return it->second;
+      return server.simulate(bench, cfg, cores, power::CState::kC1E).die.max_c;
     };
 
-    mapping::ExhaustivePolicy oracle(cost_of);
+    mapping::ExhaustivePolicy oracle(
+        [&](const std::vector<std::vector<int>>& subsets) {
+          return core::evaluate_placements_parallel(
+              core::Approach::kProposed, cell, bench, cfg,
+              power::CState::kC1E, subsets, /*grain=*/1,
+              core::SolveCache::global());
+        });
     mapping::MappingContext ctx;
     ctx.floorplan = &server.floorplan();
     ctx.orientation = server.design().evaporator.orientation;

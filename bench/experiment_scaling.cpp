@@ -1,0 +1,184 @@
+/// \file experiment_scaling.cpp
+/// \brief Experiment-engine scaling bench: wall time of the parallel
+///        experiment runners vs thread count, emitted as machine-readable
+///        JSON (threads-vs-time).
+///
+/// Produces BENCH_experiment.json (override with --json PATH) with one
+/// entry per (experiment, thread count): best wall time over N repeats,
+/// plus the solve-cache miss count ("iterations", i.e. coupled solves
+/// actually executed) and hit count.  Miss/hit counts are deterministic
+/// and machine-independent — the engine's fixed-chunk fan-out runs the
+/// same solves at any thread count — so they gate algorithmic regressions
+/// (a lost cache hit, a duplicated solve) even on noisy CI runners; times
+/// catch constant-factor ones.  CI runs
+/// `experiment_scaling --fast --json BENCH_experiment.json`, uploads the
+/// file, and gates merges via scripts/check_bench_regression.py against
+/// ci/bench_baseline_experiment.json.
+///
+/// Flags:
+///   --fast         coarse grids + thread sweep {1, 2} (the CI config)
+///   --threads N    highest thread count in the sweep (default: hardware)
+///   --json PATH    output path (default BENCH_experiment.json)
+///   --repeats N    timing repeats per case (default 2, best-of)
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tpcool/core/experiment.hpp"
+#include "tpcool/core/parallel.hpp"
+#include "tpcool/core/rack_coordinator.hpp"
+#include "tpcool/core/solve_cache.hpp"
+#include "tpcool/mapping/exhaustive.hpp"
+#include "tpcool/util/table.hpp"
+
+namespace {
+
+using namespace tpcool;
+using Clock = std::chrono::steady_clock;
+
+struct CaseResult {
+  std::string name;
+  std::size_t threads = 0;
+  double best_ms = 0.0;
+  std::size_t solves = 0;  ///< Cache misses = coupled solves executed.
+  std::size_t hits = 0;    ///< Cache hits = solves deduplicated away.
+};
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Best-of-N timing of one experiment at one thread count.  Each repeat
+/// starts from an empty cache so it measures real solves, not replays.
+template <typename Body>
+CaseResult run_case(const std::string& name, std::size_t threads, int repeats,
+                    Body&& body) {
+  util::ThreadPool::set_global_thread_count(threads);
+  CaseResult result{name + "_t" + std::to_string(threads), threads, 0.0, 0, 0};
+  for (int rep = 0; rep < repeats; ++rep) {
+    core::SolveCache::global()->clear();
+    const auto start = Clock::now();
+    body();
+    const double elapsed = ms_since(start);
+    const core::SolveCache::Stats stats = core::SolveCache::global()->stats();
+    if (rep == 0 || elapsed < result.best_ms) {
+      result.best_ms = elapsed;
+      result.solves = stats.misses;
+      result.hits = stats.hits;
+    }
+  }
+  return result;
+}
+
+void write_json(const std::string& path,
+                const std::vector<CaseResult>& cases) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    std::exit(1);
+  }
+  os << "{\n  \"schema\": \"tpcool-experiment-bench-v1\",\n  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseResult& c = cases[i];
+    os << "    {\"name\": \"" << c.name << "\", \"threads\": " << c.threads
+       << ", \"solve_ms\": " << c.best_ms << ", \"iterations\": " << c.solves
+       << ", \"hits\": " << c.hits << "}"
+       << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = false;
+  int repeats = 2;
+  std::size_t max_threads = util::ThreadPool::default_thread_count();
+  std::string json_path = "BENCH_experiment.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fast") {
+      fast = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--repeats" && i + 1 < argc) {
+      repeats = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      max_threads = static_cast<std::size_t>(
+          std::max(1, std::atoi(argv[++i])));
+    } else {
+      std::cerr << "usage: experiment_scaling [--fast] [--threads N] "
+                   "[--json PATH] [--repeats N]\n";
+      return 2;
+    }
+  }
+
+  // Thread sweep: doubling up to the cap. --fast pins {1, 2} so CI numbers
+  // are comparable across runners.
+  std::vector<std::size_t> thread_counts{1};
+  const std::size_t cap = fast ? std::min<std::size_t>(2, max_threads)
+                               : max_threads;
+  for (std::size_t t = 2; t <= cap; t *= 2) thread_counts.push_back(t);
+
+  // Grids mirror each experiment's --fast pitch in its dedicated bench.
+  const double fig6_cell = fast ? 1.5e-3 : 1.25e-3;
+  const double table2_cell = fast ? 1.75e-3 : 1.25e-3;
+  const double oracle_cell = 2.0e-3;
+  const double rack_cell = 2.0e-3;
+
+  std::vector<CaseResult> cases;
+  for (const std::size_t threads : thread_counts) {
+    {
+      core::ExperimentOptions options;
+      options.cell_size_m = fig6_cell;
+      cases.push_back(run_case("fig6", threads, repeats,
+                               [&] { (void)core::run_fig6_scenarios(options); }));
+    }
+    {
+      core::ExperimentOptions options;
+      options.cell_size_m = table2_cell;
+      options.max_benchmarks = 3;
+      cases.push_back(run_case("table2", threads, repeats,
+                               [&] { (void)core::run_table2(options); }));
+    }
+    {
+      const auto& bench = workload::find_benchmark("x264");
+      const workload::Configuration config{4, 2, 3.2};
+      const auto subsets =
+          mapping::core_subsets(floorplan::make_xeon_e5_floorplan(), 4);
+      cases.push_back(run_case("oracle70", threads, repeats, [&] {
+        (void)core::evaluate_placements_parallel(
+            core::Approach::kProposed, oracle_cell, bench, config,
+            power::CState::kC1E, subsets, /*grain=*/1,
+            core::SolveCache::global());
+      }));
+    }
+    {
+      core::RackCoordinator::Config config;
+      config.qos = workload::QoSRequirement{2.0};
+      config.cell_size_m = rack_cell;
+      cases.push_back(run_case("rack3", threads, repeats, [&] {
+        (void)core::RackCoordinator(config).plan(
+            {"x264", "canneal", "swaptions"});
+      }));
+    }
+  }
+  util::ThreadPool::set_global_thread_count(0);
+
+  write_json(json_path, cases);
+
+  util::TablePrinter table({"case", "threads", "best ms", "solves", "hits"});
+  for (const CaseResult& c : cases) {
+    table.add_row({c.name, std::to_string(c.threads),
+                   util::TablePrinter::fmt(c.best_ms, 1),
+                   std::to_string(c.solves), std::to_string(c.hits)});
+  }
+  table.print(std::cout);
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}

@@ -1,18 +1,26 @@
 #!/usr/bin/env python3
-"""Gate solver-performance regressions against a checked-in baseline.
+"""Gate bench-performance regressions against a checked-in baseline.
 
 Usage:
     check_bench_regression.py CURRENT.json BASELINE.json [--max-regress 0.25]
 
-Both files follow the tpcool-solver-bench-v1 schema emitted by
-`solver_scaling --json`. A case regresses when its solve time OR its CG
-iteration count exceeds the baseline by more than --max-regress (relative).
-Iteration counts are machine-independent, so they catch algorithmic
-regressions even on noisy CI runners; times catch constant-factor ones.
+Both files must carry the same schema, one of:
+  - tpcool-solver-bench-v1      (solver_scaling --json): per case
+    solve_ms + CG iterations
+  - tpcool-experiment-bench-v1  (experiment_scaling --json): per case
+    solve_ms + coupled-solve count ("iterations"; cache hits are
+    informational)
+
+A case regresses when any compared metric exceeds the baseline by more
+than --max-regress (relative).  Iteration/solve/hit counts are
+machine-independent — the solver and the experiment engine are
+deterministic for any thread count — so they catch algorithmic
+regressions (extra CG iterations, a lost cache hit, a duplicated solve)
+even on noisy CI runners; times catch constant-factor ones.
 
 Cases present in only one of the two files are reported but do not fail
 the check (the baseline is refreshed whenever cases are added/renamed —
-see README "Solver architecture").
+see CONTRIBUTING.md "Refreshing bench baselines").
 
 Exit status: 0 = OK, 1 = regression, 2 = bad invocation/input.
 """
@@ -21,19 +29,27 @@ import argparse
 import json
 import sys
 
+KNOWN_SCHEMAS = ("tpcool-solver-bench-v1", "tpcool-experiment-bench-v1")
 
-def load_cases(path):
+# Metrics compared per schema; a metric missing from either file is skipped.
+# "hits" is emitted for information only: a lost cache hit already shows up
+# as extra "iterations" (misses), and gating hits upward would flag
+# legitimate improvements that deduplicate more solves.
+METRICS = ("solve_ms", "iterations")
+
+
+def load_doc(path):
     try:
         with open(path, encoding="utf-8") as fh:
             doc = json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
         print(f"cannot read {path}: {exc}", file=sys.stderr)
         sys.exit(2)
-    if doc.get("schema") != "tpcool-solver-bench-v1":
+    if doc.get("schema") not in KNOWN_SCHEMAS:
         print(f"{path}: unexpected schema {doc.get('schema')!r}",
               file=sys.stderr)
         sys.exit(2)
-    return {case["name"]: case for case in doc.get("cases", [])}
+    return doc
 
 
 def main():
@@ -44,8 +60,15 @@ def main():
                         help="allowed relative slowdown (default 0.25)")
     args = parser.parse_args()
 
-    current = load_cases(args.current)
-    baseline = load_cases(args.baseline)
+    current_doc = load_doc(args.current)
+    baseline_doc = load_doc(args.baseline)
+    if current_doc["schema"] != baseline_doc["schema"]:
+        print(f"schema mismatch: {current_doc['schema']} vs "
+              f"{baseline_doc['schema']}", file=sys.stderr)
+        sys.exit(2)
+
+    current = {case["name"]: case for case in current_doc.get("cases", [])}
+    baseline = {case["name"]: case for case in baseline_doc.get("cases", [])}
 
     failures = []
     for name, base in sorted(baseline.items()):
@@ -53,7 +76,9 @@ def main():
         if cur is None:
             print(f"NOTE  {name}: missing from current run")
             continue
-        for metric in ("solve_ms", "iterations"):
+        for metric in METRICS:
+            if metric not in base or metric not in cur:
+                continue
             base_v, cur_v = base[metric], cur[metric]
             if base_v <= 0:
                 continue
@@ -65,13 +90,13 @@ def main():
                 failures.append(f"{name} {metric}")
 
     for name in sorted(set(current) - set(baseline)):
-        print(f"NOTE  {name}: not in baseline (refresh ci/bench_baseline.json)")
+        print(f"NOTE  {name}: not in baseline (refresh the baseline file)")
 
     if failures:
         print(f"\n{len(failures)} regression(s) beyond "
               f"{args.max_regress:.0%}: {', '.join(failures)}")
         return 1
-    print("\nno solver regressions beyond "
+    print("\nno bench regressions beyond "
           f"{args.max_regress:.0%} of baseline")
     return 0
 

@@ -13,8 +13,11 @@ namespace tpcool::core {
 
 /// Global experiment options.
 struct ExperimentOptions {
-  /// Thermal-grid cell pitch. Coarser grids (e.g. 1.5 mm) make the full
-  /// suite fast enough for CI; the default matches the bench harness.
+  /// Thermal-grid cell pitch. The default is the figure-fidelity pitch of
+  /// `thermal::PackageStackConfig` (0.75 mm), which is what the bench
+  /// binaries run without `--fast`; each bench's `--fast` flag and the
+  /// acceptance tests override it with a coarser pitch (1.0–2.0 mm,
+  /// orderings are grid-stable) to keep CI fast.
   double cell_size_m = 0.75e-3;
   /// Restrict multi-benchmark experiments to the first N PARSEC profiles
   /// (0 = all 13). Orderings are stable under the restriction.

@@ -1,0 +1,85 @@
+#include "tpcool/core/parallel.hpp"
+
+namespace tpcool::core {
+
+std::string solve_scope(Approach approach, double cell_size_m) {
+  std::string scope = "pipeline:";
+  scope += std::to_string(static_cast<int>(approach));
+  scope.push_back(';');
+  append_key_bits(scope, cell_size_m);
+  return scope;
+}
+
+namespace {
+
+/// Context of one chunk: a pipeline server with the shared cache attached.
+ApproachPipeline make_cached_pipeline(
+    Approach approach, double cell_size_m,
+    const std::shared_ptr<SolveCache>& cache) {
+  ApproachPipeline pipeline(approach, cell_size_m);
+  if (cache != nullptr) {
+    pipeline.server().enable_solve_cache(cache,
+                                         solve_scope(approach, cell_size_m));
+  }
+  return pipeline;
+}
+
+}  // namespace
+
+std::vector<SimulationResult> run_parallel_solves(
+    Approach approach, double cell_size_m,
+    const std::vector<SolveRequest>& requests, std::size_t grain,
+    const std::shared_ptr<SolveCache>& cache) {
+  for (const SolveRequest& request : requests) {
+    TPCOOL_REQUIRE(request.bench != nullptr, "solve request needs a benchmark");
+  }
+  return parallel_map<SimulationResult>(
+      requests.size(), grain,
+      [&](std::size_t) {
+        return make_cached_pipeline(approach, cell_size_m, cache);
+      },
+      [&](ApproachPipeline& pipeline, std::size_t i) {
+        const SolveRequest& request = requests[i];
+        return pipeline.server().simulate(*request.bench, request.config,
+                                          request.cores, request.idle_state);
+      });
+}
+
+std::vector<SimulationResult> run_parallel_schedules(
+    Approach approach, double cell_size_m,
+    const std::vector<ScheduleRequest>& requests, std::size_t grain,
+    const std::shared_ptr<SolveCache>& cache) {
+  for (const ScheduleRequest& request : requests) {
+    TPCOOL_REQUIRE(request.bench != nullptr,
+                   "schedule request needs a benchmark");
+  }
+  return parallel_map<SimulationResult>(
+      requests.size(), grain,
+      [&](std::size_t) {
+        return make_cached_pipeline(approach, cell_size_m, cache);
+      },
+      [&](ApproachPipeline& pipeline, std::size_t i) {
+        return pipeline.scheduler().run(*requests[i].bench, requests[i].qos);
+      });
+}
+
+std::vector<double> evaluate_placements_parallel(
+    Approach approach, double cell_size_m,
+    const workload::BenchmarkProfile& bench,
+    const workload::Configuration& config, power::CState idle_state,
+    const std::vector<std::vector<int>>& subsets, std::size_t grain,
+    const std::shared_ptr<SolveCache>& cache) {
+  std::vector<SolveRequest> requests;
+  requests.reserve(subsets.size());
+  for (const std::vector<int>& cores : subsets) {
+    requests.push_back({&bench, config, cores, idle_state});
+  }
+  const std::vector<SimulationResult> sims =
+      run_parallel_solves(approach, cell_size_m, requests, grain, cache);
+  std::vector<double> costs;
+  costs.reserve(sims.size());
+  for (const SimulationResult& sim : sims) costs.push_back(sim.die.max_c);
+  return costs;
+}
+
+}  // namespace tpcool::core

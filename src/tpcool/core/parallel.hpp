@@ -1,0 +1,127 @@
+#pragma once
+/// \file parallel.hpp
+/// \brief Deterministic parallel fan-out for independent experiment solves.
+///
+/// The solver layer (util::ThreadPool + StencilOperator) parallelizes
+/// *inside* one linear solve; this layer parallelizes *across* the many
+/// independent ServerModel solves an experiment issues (Table II's
+/// approach × QoS × benchmark grid, Fig. 6 scenarios, the oracle's subset
+/// enumeration, rack supply-temperature scans).  The two compose safely:
+/// while an outer `parallel_map` occupies the global pool, inner solver
+/// loops detect the busy pool and run their fixed-chunk serial path, which
+/// is bit-identical by construction.
+///
+/// Determinism discipline (same rules as the solver reductions):
+///  - Tasks are split into chunks on fixed boundaries derived only from
+///    (count, grain) — never from the thread count.
+///  - Each chunk builds its own context (ServerModel/ApproachPipeline), so
+///    no mutable state is shared across chunks; within a chunk, tasks run
+///    in index order.
+///  - Results land in a pre-sized vector by task index: result order is
+///    the serial order regardless of which thread ran what.
+///  - Shared SolveCache values are pure functions of their key (cold-start
+///    solves, see ServerModel::enable_solve_cache), so cache races are
+///    unobservable.
+/// Together: any thread count, including TPCOOL_NUM_THREADS=1, produces
+/// bit-identical results.
+
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tpcool/core/pipelines.hpp"
+#include "tpcool/core/solve_cache.hpp"
+#include "tpcool/util/error.hpp"
+#include "tpcool/util/thread_pool.hpp"
+
+namespace tpcool::core {
+
+/// Deterministic parallel map over `count` independent tasks.
+///
+/// Splits [0, count) into chunks of `grain` tasks, runs
+/// `make_context(chunk_index)` once per chunk and
+/// `task(context, task_index)` for every task of the chunk in index order,
+/// on the global ThreadPool.  The first exception (in chunk order) is
+/// rethrown after all chunks finish.
+///
+/// `grain` trades context-construction overhead against parallel width and
+/// must be a fixed constant at each call site — deriving it from the thread
+/// count would change warm-state chaining across machines.
+template <typename Result, typename MakeContext, typename Task>
+std::vector<Result> parallel_map(std::size_t count, std::size_t grain,
+                                 MakeContext&& make_context, Task&& task) {
+  TPCOOL_REQUIRE(grain >= 1, "parallel_map needs grain >= 1");
+  std::vector<Result> results(count);
+  if (count == 0) return results;
+  const std::size_t chunk_count = (count + grain - 1) / grain;
+  std::vector<std::exception_ptr> errors(chunk_count);
+  util::ThreadPool::global().parallel_for(
+      0, count, grain, [&](std::size_t lo, std::size_t hi) {
+        const std::size_t chunk = lo / grain;
+        try {
+          auto context = make_context(chunk);
+          for (std::size_t i = lo; i < hi; ++i) {
+            results[i] = task(context, i);
+          }
+        } catch (...) {
+          // Worker bodies must not throw (the pool would terminate); park
+          // the error and rethrow deterministically on the caller.
+          errors[chunk] = std::current_exception();
+        }
+      });
+  for (std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+/// Cache scope prefix for a pipeline-built server (see
+/// ServerModel::enable_solve_cache): approach and grid pitch fully
+/// determine the ServerConfig that `server_config_for` builds.
+[[nodiscard]] std::string solve_scope(Approach approach, double cell_size_m);
+
+/// One independent coupled-solve request against a pipeline server.
+struct SolveRequest {
+  const workload::BenchmarkProfile* bench = nullptr;
+  workload::Configuration config;
+  std::vector<int> cores;
+  power::CState idle_state = power::CState::kPoll;
+};
+
+/// Run every request against an `Approach` server built at `cell_size_m`,
+/// fanned out over the global pool with `grain` requests per context and
+/// memoized in `cache` (pass the global cache unless isolating a sweep).
+/// Results are returned in request order and are bit-identical for any
+/// thread count.
+[[nodiscard]] std::vector<SimulationResult> run_parallel_solves(
+    Approach approach, double cell_size_m,
+    const std::vector<SolveRequest>& requests, std::size_t grain,
+    const std::shared_ptr<SolveCache>& cache);
+
+/// One scheduler-level request: run Algorithm 1 (or the SoA selection) and
+/// the coupled simulation for a benchmark under a QoS level.
+struct ScheduleRequest {
+  const workload::BenchmarkProfile* bench = nullptr;
+  workload::QoSRequirement qos;
+};
+
+/// Parallel counterpart of `Scheduler::run` over a request list; same
+/// determinism contract as `run_parallel_solves`.
+[[nodiscard]] std::vector<SimulationResult> run_parallel_schedules(
+    Approach approach, double cell_size_m,
+    const std::vector<ScheduleRequest>& requests, std::size_t grain,
+    const std::shared_ptr<SolveCache>& cache);
+
+/// Batch placement evaluator for mapping::ExhaustivePolicy: evaluates all
+/// subsets (die θmax) through parallel cached solves on an `Approach`
+/// server.  `grain` subsets share one context.
+[[nodiscard]] std::vector<double> evaluate_placements_parallel(
+    Approach approach, double cell_size_m,
+    const workload::BenchmarkProfile& bench,
+    const workload::Configuration& config, power::CState idle_state,
+    const std::vector<std::vector<int>>& subsets, std::size_t grain,
+    const std::shared_ptr<SolveCache>& cache);
+
+}  // namespace tpcool::core

@@ -1,51 +1,75 @@
 #include "tpcool/core/rack_coordinator.hpp"
 
+#include <memory>
+
+#include "tpcool/core/parallel.hpp"
+#include "tpcool/core/solve_cache.hpp"
 #include "tpcool/util/error.hpp"
 
 namespace tpcool::core {
 
-RackCoordinator::RackCoordinator(Config config)
-    : config_(std::move(config)),
-      pipeline_(config_.approach, config_.cell_size_m) {
+namespace {
+
+/// One server per chunk: each rack slot schedules and scans independently.
+constexpr std::size_t kRackGrain = 1;
+
+}  // namespace
+
+RackCoordinator::RackCoordinator(Config config) : config_(std::move(config)) {
   TPCOOL_REQUIRE(!config_.supply_candidates_c.empty(),
                  "no supply-temperature candidates");
 }
 
+std::unique_ptr<ApproachPipeline> RackCoordinator::make_pipeline() const {
+  auto pipeline = std::make_unique<ApproachPipeline>(config_.approach,
+                                                     config_.cell_size_m);
+  pipeline->server().enable_solve_cache(
+      SolveCache::global(), solve_scope(config_.approach, config_.cell_size_m));
+  return pipeline;
+}
+
 RackPlan RackCoordinator::plan(const std::vector<std::string>& benchmarks) {
   TPCOOL_REQUIRE(!benchmarks.empty(), "rack plan needs at least one server");
+  const double design_flow = server_config_for(config_.approach,
+                                               config_.cell_size_m)
+                                 .operating_point.water_flow_kg_h;
+
+  // Per-server phase, embarrassingly parallel across the rack: schedule,
+  // then find the highest feasible supply temperature (candidates scanned
+  // descending). An infeasible server throws; parallel_map rethrows the
+  // first one in rack order, matching the serial scan.
   RackPlan plan;
-  ServerModel& server = pipeline_.server();
-  const double design_flow = server.operating_point().water_flow_kg_h;
+  plan.servers = parallel_map<ServerPlan>(
+      benchmarks.size(), kRackGrain,
+      [&](std::size_t) { return make_pipeline(); },
+      [&](std::unique_ptr<ApproachPipeline>& pipeline, std::size_t i) {
+        const std::string& name = benchmarks[i];
+        const workload::BenchmarkProfile& bench =
+            workload::find_benchmark(name);
+        ServerModel& server = pipeline->server();
+        ServerPlan sp;
+        sp.benchmark = name;
+        sp.decision = pipeline->scheduler().schedule(bench, config_.qos);
 
-  // Per-server: schedule, then find the highest feasible supply temperature
-  // (the candidates are scanned descending).
-  for (const std::string& name : benchmarks) {
-    const workload::BenchmarkProfile& bench = workload::find_benchmark(name);
-    ServerPlan sp;
-    sp.benchmark = name;
-    sp.decision = pipeline_.scheduler().schedule(bench, config_.qos);
-
-    bool feasible = false;
-    for (const double t_w : config_.supply_candidates_c) {
-      server.set_operating_point(
-          {.water_flow_kg_h = design_flow, .water_inlet_c = t_w});
-      const SimulationResult sim =
-          server.simulate(bench, sp.decision.point.config, sp.decision.cores,
-                          sp.decision.idle_state);
-      // Feasibility is the TCASE limit; partial channel dry-out over the
-      // dead east area of the die is expected at load and harmless.
-      if (sim.tcase_c <= config_.tcase_limit_c) {
-        sp.max_supply_temp_c = t_w;
-        sp.package_power_w = sim.total_power_w;
-        feasible = true;
-        break;
-      }
-    }
-    TPCOOL_REQUIRE(feasible, "server '" + name +
-                                 "' infeasible at every candidate supply "
-                                 "temperature");
-    plan.servers.push_back(std::move(sp));
-  }
+        for (const double t_w : config_.supply_candidates_c) {
+          server.set_operating_point(
+              {.water_flow_kg_h = design_flow, .water_inlet_c = t_w});
+          const SimulationResult sim =
+              server.simulate(bench, sp.decision.point.config,
+                              sp.decision.cores, sp.decision.idle_state);
+          // Feasibility is the TCASE limit; partial channel dry-out over
+          // the dead east area of the die is expected at load and harmless.
+          if (sim.tcase_c <= config_.tcase_limit_c) {
+            sp.max_supply_temp_c = t_w;
+            sp.package_power_w = sim.total_power_w;
+            return sp;
+          }
+        }
+        TPCOOL_REQUIRE(false, "server '" + name +
+                                  "' infeasible at every candidate supply "
+                                  "temperature");
+        return sp;
+      });
 
   // Shared loop: the rack setpoint is the minimum per-server maximum.
   std::vector<cooling::ServerDemand> demands;
@@ -55,16 +79,26 @@ RackPlan RackCoordinator::plan(const std::vector<std::string>& benchmarks) {
   }
   plan.cooling = cooling::solve_rack_cooling(demands, config_.chiller);
 
-  // Report each server's hot spot at the shared setpoint.
-  for (ServerPlan& sp : plan.servers) {
-    const workload::BenchmarkProfile& bench =
-        workload::find_benchmark(sp.benchmark);
-    server.set_operating_point({.water_flow_kg_h = design_flow,
-                                .water_inlet_c = plan.cooling.supply_temp_c});
-    const SimulationResult sim =
-        server.simulate(bench, sp.decision.point.config, sp.decision.cores,
-                        sp.decision.idle_state);
-    sp.die_max_c = sim.die.max_c;
+  // Report each server's hot spot at the shared setpoint — again parallel;
+  // the binding server (max supply == setpoint) is a cache hit from the
+  // scan above.
+  const std::vector<SimulationResult> at_setpoint =
+      parallel_map<SimulationResult>(
+          plan.servers.size(), kRackGrain,
+          [&](std::size_t) { return make_pipeline(); },
+          [&](std::unique_ptr<ApproachPipeline>& pipeline, std::size_t i) {
+            const ServerPlan& sp = plan.servers[i];
+            const workload::BenchmarkProfile& bench =
+                workload::find_benchmark(sp.benchmark);
+            pipeline->server().set_operating_point(
+                {.water_flow_kg_h = design_flow,
+                 .water_inlet_c = plan.cooling.supply_temp_c});
+            return pipeline->server().simulate(bench, sp.decision.point.config,
+                                               sp.decision.cores,
+                                               sp.decision.idle_state);
+          });
+  for (std::size_t i = 0; i < plan.servers.size(); ++i) {
+    plan.servers[i].die_max_c = at_setpoint[i].die.max_c;
   }
   return plan;
 }

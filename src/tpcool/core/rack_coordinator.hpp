@@ -5,6 +5,7 @@
 ///        server, derives each server's highest feasible supply temperature,
 ///        and sets the rack setpoint to the minimum of those.
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,12 +46,16 @@ class RackCoordinator {
   explicit RackCoordinator(Config config);
 
   /// Schedule each named benchmark on its own server and solve the shared
-  /// cooling loop.
+  /// cooling loop.  The per-server supply-temperature scans fan out over
+  /// the global thread pool through the shared solve cache; results are
+  /// bit-identical for any thread count (see parallel.hpp).
   [[nodiscard]] RackPlan plan(const std::vector<std::string>& benchmarks);
 
  private:
+  /// Fresh per-chunk pipeline with the shared solve cache attached.
+  [[nodiscard]] std::unique_ptr<ApproachPipeline> make_pipeline() const;
+
   Config config_;
-  ApproachPipeline pipeline_;
 };
 
 }  // namespace tpcool::core

@@ -1,7 +1,9 @@
 #include "tpcool/core/server.hpp"
 
 #include <cmath>
+#include <utility>
 
+#include "tpcool/core/solve_cache.hpp"
 #include "tpcool/util/error.hpp"
 
 namespace tpcool::core {
@@ -60,22 +62,48 @@ SimulationResult ServerModel::simulate(
     const std::vector<int>& active_cores, power::CState idle_state) {
   TPCOOL_REQUIRE(static_cast<int>(active_cores.size()) == config_pt.cores,
                  "mapping size does not match the configuration core count");
-  power::PackagePowerRequest req =
-      profiler_.request_for(bench, config_pt, idle_state);
-  req.active_cores = active_cores;
-  SimulationResult result = coupled_solve(power_model_.unit_powers(req));
-  result.power = power_model_.breakdown(req);
+  const auto solve = [&] {
+    power::PackagePowerRequest req =
+        profiler_.request_for(bench, config_pt, idle_state);
+    req.active_cores = active_cores;
+    SimulationResult result =
+        coupled_solve(power_model_.unit_powers(req),
+                      /*reuse_state=*/solve_cache_ == nullptr);
+    result.power = power_model_.breakdown(req);
+    return result;
+  };
+
+  SimulationResult result;
+  if (solve_cache_ != nullptr) {
+    std::string key = cache_scope_;
+    append_key_bits(key, config_.operating_point.water_flow_kg_h);
+    append_key_bits(key, config_.operating_point.water_inlet_c);
+    key += solve_request_key(bench, config_pt, active_cores, idle_state);
+    result = solve_cache_->get_or_compute(key, solve);
+  } else {
+    result = solve();
+  }
+  // The cache key treats the placement as a set; echo the caller's order.
   result.active_cores = active_cores;
   return result;
 }
 
 SimulationResult ServerModel::simulate_powers(
     const floorplan::UnitPowers& powers) {
-  return coupled_solve(powers);
+  // Not memoized (arbitrary power maps make poor keys), but kept cold while
+  // a cache is attached so cached solves never see its residual field.
+  return coupled_solve(powers, /*reuse_state=*/solve_cache_ == nullptr);
+}
+
+void ServerModel::enable_solve_cache(std::shared_ptr<SolveCache> cache,
+                                     std::string scope_key) {
+  TPCOOL_REQUIRE(cache != nullptr, "enable_solve_cache needs a cache");
+  solve_cache_ = std::move(cache);
+  cache_scope_ = std::move(scope_key);
 }
 
 SimulationResult ServerModel::coupled_solve(
-    const floorplan::UnitPowers& powers) {
+    const floorplan::UnitPowers& powers, bool reuse_state) {
   const thermal::StackModel& stack = thermal_.stack();
 
   const util::Grid2D<double> power_map = floorplan::rasterize_power(
@@ -87,8 +115,8 @@ SimulationResult ServerModel::coupled_solve(
   // iterations; across solves it is seeded from the previous call's result
   // (sweeps over benchmarks/configurations change the field only mildly).
   util::Grid2D<double> evap_heat = uniform_footprint_heat(stack, total_w);
-  std::vector<double> t =
-      config_.reuse_thermal_state ? last_temperature_ : std::vector<double>{};
+  const bool warm = reuse_state && config_.reuse_thermal_state;
+  std::vector<double> t = warm ? last_temperature_ : std::vector<double>{};
   thermosyphon::ThermosyphonState syphon_state;
 
   for (int it = 0; it < config_.coupling_iterations; ++it) {
@@ -107,7 +135,7 @@ SimulationResult ServerModel::coupled_solve(
     }
   }
 
-  if (config_.reuse_thermal_state) last_temperature_ = t;
+  if (warm) last_temperature_ = t;
 
   SimulationResult result;
   result.syphon = std::move(syphon_state);

@@ -5,6 +5,7 @@
 ///        steady-state solve used by every experiment.
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "tpcool/floorplan/xeon_e5.hpp"
@@ -15,6 +16,8 @@
 #include "tpcool/workload/profiler.hpp"
 
 namespace tpcool::core {
+
+class SolveCache;
 
 /// Server construction parameters.
 struct ServerConfig {
@@ -54,6 +57,15 @@ class ServerModel {
  public:
   explicit ServerModel(ServerConfig config);
 
+  // The power model and profiler point back into this object, so a move
+  // would leave them referencing the source. Factories returning prvalues
+  // (make_proposed_server) still work via guaranteed copy elision; anything
+  // else must heap-allocate.
+  ServerModel(const ServerModel&) = delete;
+  ServerModel& operator=(const ServerModel&) = delete;
+  ServerModel(ServerModel&&) = delete;
+  ServerModel& operator=(ServerModel&&) = delete;
+
   [[nodiscard]] const floorplan::Floorplan& floorplan() const {
     return floorplan_;
   }
@@ -90,6 +102,30 @@ class ServerModel {
   [[nodiscard]] SimulationResult simulate_powers(
       const floorplan::UnitPowers& powers);
 
+  /// Route `simulate()` through a shared memo of solve results.
+  ///
+  /// `scope_key` must uniquely identify everything this ServerModel was
+  /// constructed from (design + stack + board + coupling settings) among
+  /// all users of `cache`; the operating point and the per-solve inputs are
+  /// appended automatically.  Use `solve_scope()` (parallel.hpp) for
+  /// pipeline-built servers.
+  ///
+  /// While a cache is attached, cache-miss solves start cold and the
+  /// warm-start chain (ServerConfig::reuse_thermal_state) is suspended, so
+  /// every cached value is a pure function of its key.  This is what makes
+  /// cached sweeps bit-identical for any thread count and task order: a
+  /// duplicate compute of a key reproduces the identical bits, so races
+  /// between cache writers are unobservable.
+  void enable_solve_cache(std::shared_ptr<SolveCache> cache,
+                          std::string scope_key);
+
+  /// Detach the cache and restore warm-start chaining.
+  void disable_solve_cache() { solve_cache_.reset(); }
+
+  [[nodiscard]] bool solve_cache_enabled() const noexcept {
+    return solve_cache_ != nullptr;
+  }
+
   /// Access to the thermal model (e.g. for transient stepping).
   [[nodiscard]] thermal::ThermalModel& thermal() { return thermal_; }
   [[nodiscard]] const thermal::ThermalModel& thermal() const {
@@ -100,8 +136,10 @@ class ServerModel {
   }
 
  private:
+  /// `reuse_state` gates the cross-solve warm start; cached solves pass
+  /// false so their results are independent of solve history.
   [[nodiscard]] SimulationResult coupled_solve(
-      const floorplan::UnitPowers& powers);
+      const floorplan::UnitPowers& powers, bool reuse_state);
 
   ServerConfig config_;
   floorplan::Floorplan floorplan_;
@@ -112,6 +150,8 @@ class ServerModel {
   /// Temperature field of the previous coupled solve; warm-start hint for
   /// the next one (see ServerConfig::reuse_thermal_state).
   std::vector<double> last_temperature_;
+  std::shared_ptr<SolveCache> solve_cache_;  ///< Null = no memoization.
+  std::string cache_scope_;  ///< Key prefix identifying this server's config.
 };
 
 /// Factory: the paper's proposed, workload-aware design (§VI): east-west

@@ -1,0 +1,157 @@
+#include "tpcool/core/solve_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::core {
+
+SolveCache::SolveCache(std::size_t capacity) : capacity_(capacity) {
+  TPCOOL_REQUIRE(capacity >= 1, "solve cache needs capacity >= 1");
+}
+
+void SolveCache::touch(std::list<Entry>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+void SolveCache::evict_over_capacity() {
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+SimulationResult SolveCache::get_or_compute(
+    const std::string& key,
+    const std::function<SimulationResult()>& compute) {
+  {
+    std::unique_lock lock(mutex_);
+    while (true) {
+      const auto it = index_.find(key);
+      if (it != index_.end()) {
+        ++stats_.hits;
+        touch(it->second);
+        return it->second->result;
+      }
+      if (!in_flight_.contains(key)) break;
+      // Another thread is computing this key: wait for its result instead
+      // of duplicating the solve, and count the serial schedule's hit.
+      // (If eviction dropped the result before we woke, loop and compute.)
+      compute_done_.wait(lock);
+    }
+    in_flight_.insert(key);
+    ++stats_.misses;
+  }
+  // Compute outside the lock so independent keys solve in parallel.
+  SimulationResult result;
+  try {
+    result = compute();
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    in_flight_.erase(key);
+    compute_done_.notify_all();
+    throw;
+  }
+  put(key, result);
+  {
+    std::lock_guard lock(mutex_);
+    in_flight_.erase(key);
+  }
+  compute_done_.notify_all();
+  return result;
+}
+
+bool SolveCache::try_get(const std::string& key, SimulationResult& out) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  touch(it->second);
+  out = it->second->result;
+  return true;
+}
+
+void SolveCache::put(const std::string& key, SimulationResult result) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    touch(it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(result)});
+  index_.emplace(key, lru_.begin());
+  evict_over_capacity();
+}
+
+SolveCache::Stats SolveCache::stats() const {
+  std::lock_guard lock(mutex_);
+  Stats s = stats_;
+  s.size = lru_.size();
+  return s;
+}
+
+void SolveCache::clear() {
+  std::lock_guard lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  stats_ = Stats{};
+}
+
+const std::shared_ptr<SolveCache>& SolveCache::global() {
+  static const std::shared_ptr<SolveCache> cache =
+      std::make_shared<SolveCache>();
+  return cache;
+}
+
+void append_key_bits(std::string& key, double value) {
+  static const char* hex = "0123456789abcdef";
+  const auto bits = std::bit_cast<std::uint64_t>(value);
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    key.push_back(hex[(bits >> shift) & 0xF]);
+  }
+  key.push_back(';');
+}
+
+std::string solve_request_key(const workload::BenchmarkProfile& bench,
+                              const workload::Configuration& config,
+                              const std::vector<int>& cores,
+                              power::CState idle_state) {
+  // Per-core powers depend only on which cores are active, so placements
+  // that permute the same set share one entry (the oracle enumerates sorted
+  // subsets, heuristics return rack order).  ServerModel restores the
+  // caller's ordering in SimulationResult::active_cores after a hit.
+  std::vector<int> sorted_cores = cores;
+  std::sort(sorted_cores.begin(), sorted_cores.end());
+  std::string key;
+  key.reserve(192);
+  // The full profile, not just the name: two profiles may share a name but
+  // differ in parameters (tests build custom ones).
+  key += bench.name;
+  key.push_back(';');
+  append_key_bits(key, bench.c_eff_w_per_ghz_v2);
+  append_key_bits(key, bench.smt_yield);
+  append_key_bits(key, bench.serial_fraction);
+  append_key_bits(key, bench.scaling_exponent);
+  append_key_bits(key, bench.mem_intensity);
+  append_key_bits(key, bench.tolerable_latency_us);
+  key += std::to_string(config.cores);
+  key.push_back(',');
+  key += std::to_string(config.threads_per_core);
+  key.push_back(',');
+  append_key_bits(key, config.freq_ghz);
+  for (const int core : sorted_cores) {
+    key += std::to_string(core);
+    key.push_back(',');
+  }
+  key.push_back(';');
+  key += std::to_string(static_cast<int>(idle_state));
+  return key;
+}
+
+}  // namespace tpcool::core

@@ -12,6 +12,12 @@ ExhaustivePolicy::ExhaustivePolicy(PlacementEvaluator evaluator)
                  "oracle needs a placement evaluator");
 }
 
+ExhaustivePolicy::ExhaustivePolicy(BatchPlacementEvaluator evaluator)
+    : batch_evaluator_(std::move(evaluator)) {
+  TPCOOL_REQUIRE(static_cast<bool>(batch_evaluator_),
+                 "oracle needs a placement evaluator");
+}
+
 std::vector<std::vector<int>> core_subsets(
     const floorplan::Floorplan& floorplan, int k) {
   const int n = static_cast<int>(floorplan.core_count());
@@ -51,6 +57,19 @@ std::vector<int> ExhaustivePolicy::select_cores(
   std::vector<int> best;
   best_cost_ = 0.0;
   evaluations_ = 0;
+  if (batch_evaluator_) {
+    const std::vector<double> costs = batch_evaluator_(subsets);
+    TPCOOL_ENSURE(costs.size() == subsets.size(),
+                  "batch evaluator returned the wrong number of costs");
+    evaluations_ = costs.size();
+    // Argmin with first-wins ties: identical to the serial scan below.
+    std::size_t best_index = 0;
+    for (std::size_t i = 1; i < costs.size(); ++i) {
+      if (costs[i] < costs[best_index]) best_index = i;
+    }
+    best_cost_ = costs[best_index];
+    return subsets[best_index];
+  }
   for (const std::vector<int>& subset : subsets) {
     const double cost = evaluator_(subset);
     ++evaluations_;

@@ -17,11 +17,20 @@ namespace tpcool::mapping {
 using PlacementEvaluator =
     std::function<double(const std::vector<int>& cores)>;
 
+/// Batch form: costs for all candidate placements at once, index-aligned
+/// with the input. Lets the caller fan the independent simulations out over
+/// a thread pool (core::evaluate_placements_parallel) instead of being
+/// called back one subset at a time.
+using BatchPlacementEvaluator = std::function<std::vector<double>(
+    const std::vector<std::vector<int>>& subsets)>;
+
 /// Exhaustive-search oracle. Stateless per call; the evaluator is invoked
-/// once per subset.
+/// once per subset (or once per sweep in batch form). Ties break toward
+/// the lexicographically first subset in both forms.
 class ExhaustivePolicy final : public MappingPolicy {
  public:
   explicit ExhaustivePolicy(PlacementEvaluator evaluator);
+  explicit ExhaustivePolicy(BatchPlacementEvaluator evaluator);
 
   [[nodiscard]] std::string name() const override { return "oracle"; }
   [[nodiscard]] std::vector<int> select_cores(
@@ -37,6 +46,7 @@ class ExhaustivePolicy final : public MappingPolicy {
 
  private:
   PlacementEvaluator evaluator_;
+  BatchPlacementEvaluator batch_evaluator_;  ///< Wins when set.
   mutable double best_cost_ = 0.0;
   mutable std::size_t evaluations_ = 0;
 };

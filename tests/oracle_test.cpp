@@ -4,10 +4,11 @@
 
 #include <gtest/gtest.h>
 
-#include <map>
 #include <set>
 
+#include "tpcool/core/parallel.hpp"
 #include "tpcool/core/pipelines.hpp"
+#include "tpcool/core/solve_cache.hpp"
 #include "tpcool/mapping/exhaustive.hpp"
 #include "tpcool/mapping/proposed.hpp"
 #include "tpcool/util/error.hpp"
@@ -66,21 +67,22 @@ TEST_F(OracleTest, NullEvaluatorRejected) {
 TEST_F(OracleTest, ProposedHeuristicNearThermalOptimum) {
   // The headline verification: at 4 active cores with deep idle states, the
   // proposed one-core-per-channel-row heuristic is within 1.5 °C of the
-  // exhaustive optimum found by 70 coupled simulations.
-  core::ApproachPipeline pipeline(core::Approach::kProposed, 2.0e-3);
+  // exhaustive optimum found by 70 coupled simulations. The 70 subsets fan
+  // out over the thread pool through the shared solve cache
+  // (core::evaluate_placements_parallel).
+  constexpr double kCell = 2.0e-3;
+  core::ApproachPipeline pipeline(core::Approach::kProposed, kCell);
   core::ServerModel& server = pipeline.server();
+  server.enable_solve_cache(
+      core::SolveCache::global(),
+      core::solve_scope(core::Approach::kProposed, kCell));
   const auto& bench = workload::find_benchmark("x264");
   const workload::Configuration config{4, 2, 3.2};
 
-  std::map<std::vector<int>, double> cache;
-  ExhaustivePolicy oracle([&](const std::vector<int>& cores) {
-    const auto [it, inserted] = cache.try_emplace(cores, 0.0);
-    if (inserted) {
-      it->second =
-          server.simulate(bench, config, cores, power::CState::kC1E)
-              .die.max_c;
-    }
-    return it->second;
+  ExhaustivePolicy oracle([&](const std::vector<std::vector<int>>& subsets) {
+    return core::evaluate_placements_parallel(
+        core::Approach::kProposed, kCell, bench, config, power::CState::kC1E,
+        subsets, /*grain=*/1, core::SolveCache::global());
   });
 
   MappingContext context;
@@ -91,11 +93,12 @@ TEST_F(OracleTest, ProposedHeuristicNearThermalOptimum) {
 
   const std::vector<int> best = oracle.select_cores(context);
   const double optimal = oracle.best_cost();
+  EXPECT_EQ(oracle.evaluations(), 70u);
 
+  // The heuristic's placement is one of the 70 enumerated subsets, so this
+  // re-simulation is a solve-cache hit.
   const std::vector<int> heuristic =
       ProposedPolicy().select_cores(context);
-  std::vector<int> sorted = heuristic;
-  std::sort(sorted.begin(), sorted.end());
   const double heuristic_cost =
       server.simulate(bench, config, heuristic, power::CState::kC1E)
           .die.max_c;

@@ -1,0 +1,283 @@
+// Tests for the parallel experiment engine: SolveCache hit/miss/eviction
+// accounting, parallel_map determinism and error propagation, cold-start
+// purity of cached solves, and the headline contract — experiment results
+// bit-identical at 1, 2, and N threads (run_fig6_scenarios and
+// RackCoordinator::plan).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tpcool/core/experiment.hpp"
+#include "tpcool/core/parallel.hpp"
+#include "tpcool/core/rack_coordinator.hpp"
+#include "tpcool/core/solve_cache.hpp"
+#include "tpcool/util/error.hpp"
+#include "tpcool/util/thread_pool.hpp"
+
+namespace tpcool::core {
+namespace {
+
+// Coarse grid: these tests assert determinism, not physics fidelity.
+constexpr double kCell = 2.0e-3;
+
+/// Every experiment below runs once per thread count; the fixture restores
+/// the default pool and empties the shared cache so runs are independent.
+class ParallelEngineTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    util::ThreadPool::set_global_thread_count(0);
+    SolveCache::global()->clear();
+  }
+};
+
+// ------------------------------------------------------------- SolveCache --
+
+SimulationResult result_with_max(double max_c) {
+  SimulationResult result;
+  result.die.max_c = max_c;
+  return result;
+}
+
+TEST(SolveCacheTest, RejectsZeroCapacity) {
+  EXPECT_THROW(SolveCache(0), util::PreconditionError);
+}
+
+TEST(SolveCacheTest, CountsHitsAndMisses) {
+  SolveCache cache(4);
+  SimulationResult out;
+  EXPECT_FALSE(cache.try_get("a", out));
+  cache.put("a", result_with_max(50.0));
+  EXPECT_TRUE(cache.try_get("a", out));
+  EXPECT_DOUBLE_EQ(out.die.max_c, 50.0);
+
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return result_with_max(60.0);
+  };
+  EXPECT_DOUBLE_EQ(cache.get_or_compute("b", compute).die.max_c, 60.0);
+  EXPECT_DOUBLE_EQ(cache.get_or_compute("b", compute).die.max_c, 60.0);
+  EXPECT_EQ(computes, 1);
+
+  const SolveCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);    // try_get("a") + second get_or_compute("b")
+  EXPECT_EQ(stats.misses, 2u);  // first try_get("a") + first get_or_compute
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.size, 2u);
+}
+
+TEST(SolveCacheTest, EvictsLeastRecentlyUsed) {
+  SolveCache cache(2);
+  cache.put("a", result_with_max(1.0));
+  cache.put("b", result_with_max(2.0));
+  SimulationResult out;
+  ASSERT_TRUE(cache.try_get("a", out));  // "b" is now least recently used
+  cache.put("c", result_with_max(3.0));  // evicts "b"
+
+  EXPECT_TRUE(cache.try_get("a", out));
+  EXPECT_TRUE(cache.try_get("c", out));
+  EXPECT_FALSE(cache.try_get("b", out));
+  const SolveCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 2u);
+}
+
+TEST(SolveCacheTest, PutIsIdempotent) {
+  SolveCache cache(2);
+  cache.put("a", result_with_max(1.0));
+  cache.put("a", result_with_max(99.0));  // same key: first value is kept
+  SimulationResult out;
+  ASSERT_TRUE(cache.try_get("a", out));
+  EXPECT_DOUBLE_EQ(out.die.max_c, 1.0);
+  EXPECT_EQ(cache.stats().size, 1u);
+}
+
+TEST(SolveCacheTest, ClearResetsEverything) {
+  SolveCache cache(2);
+  cache.put("a", result_with_max(1.0));
+  SimulationResult out;
+  ASSERT_TRUE(cache.try_get("a", out));
+  cache.clear();
+  EXPECT_FALSE(cache.try_get("a", out));
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
+TEST(SolveCacheTest, KeyDistinguishesNearbyDoubles) {
+  std::string a;
+  std::string b;
+  append_key_bits(a, 1.25e-3);
+  append_key_bits(b, 1.2500000001e-3);
+  EXPECT_NE(a, b);
+}
+
+TEST(SolveCacheTest, ConcurrentRequestsForOneKeyComputeOnce) {
+  // 8 tasks race get_or_compute on the same key from a 4-thread pool; the
+  // in-flight dedup must run the compute exactly once and count the other
+  // seven as hits — the serial schedule's numbers, independent of timing.
+  util::ThreadPool::set_global_thread_count(4);
+  SolveCache cache(4);
+  std::atomic<int> computes{0};
+  const auto results = parallel_map<double>(
+      8, 1, [](std::size_t chunk) { return chunk; },
+      [&](std::size_t&, std::size_t) {
+        return cache
+            .get_or_compute("shared",
+                            [&] {
+                              ++computes;
+                              return result_with_max(42.0);
+                            })
+            .die.max_c;
+      });
+  util::ThreadPool::set_global_thread_count(0);
+
+  EXPECT_EQ(computes.load(), 1);
+  for (const double value : results) EXPECT_DOUBLE_EQ(value, 42.0);
+  const SolveCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 7u);
+}
+
+// ----------------------------------------------------------- parallel_map --
+
+TEST_F(ParallelEngineTest, ParallelMapPreservesTaskOrder) {
+  for (const std::size_t threads : {1u, 4u}) {
+    util::ThreadPool::set_global_thread_count(threads);
+    const std::vector<int> out = parallel_map<int>(
+        100, 7, [](std::size_t chunk) { return static_cast<int>(chunk); },
+        [](int& chunk, std::size_t i) {
+          return chunk * 1000 + static_cast<int>(i);
+        });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<int>(i / 7) * 1000 + static_cast<int>(i))
+          << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST_F(ParallelEngineTest, ParallelMapRethrowsFirstChunkError) {
+  util::ThreadPool::set_global_thread_count(4);
+  const auto run = [] {
+    return parallel_map<int>(
+        10, 1, [](std::size_t chunk) { return chunk; },
+        [](std::size_t& chunk, std::size_t) -> int {
+          if (chunk == 3 || chunk == 7) {
+            throw std::runtime_error("chunk " + std::to_string(chunk));
+          }
+          return 0;
+        });
+  };
+  try {
+    (void)run();
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "chunk 3");  // chunk order, not finish order
+  }
+}
+
+// ----------------------------------------------------- cold-start purity --
+
+TEST_F(ParallelEngineTest, CachedSolvesAreIndependentOfHistory) {
+  const auto& bench = workload::find_benchmark("x264");
+  const workload::Configuration config{4, 2, 3.2};
+  const std::vector<int> cores_a = fig6_scenario_cores(1);
+  const std::vector<int> cores_b = fig6_scenario_cores(3);
+
+  // Server 1 solves A then B; server 2 solves only B. With separate caches
+  // nothing is shared, so equality means a cached solve's value does not
+  // depend on what the server solved before it.
+  ApproachPipeline p1(Approach::kProposed, kCell);
+  p1.server().enable_solve_cache(std::make_shared<SolveCache>(),
+                                 solve_scope(Approach::kProposed, kCell));
+  (void)p1.server().simulate(bench, config, cores_a, power::CState::kPoll);
+  const SimulationResult b_after_a =
+      p1.server().simulate(bench, config, cores_b, power::CState::kPoll);
+
+  ApproachPipeline p2(Approach::kProposed, kCell);
+  p2.server().enable_solve_cache(std::make_shared<SolveCache>(),
+                                 solve_scope(Approach::kProposed, kCell));
+  const SimulationResult b_cold =
+      p2.server().simulate(bench, config, cores_b, power::CState::kPoll);
+
+  EXPECT_EQ(b_after_a.die.max_c, b_cold.die.max_c);
+  EXPECT_EQ(b_after_a.die.avg_c, b_cold.die.avg_c);
+  EXPECT_EQ(b_after_a.die.grad_max_c_per_mm, b_cold.die.grad_max_c_per_mm);
+  EXPECT_EQ(b_after_a.tcase_c, b_cold.tcase_c);
+  ASSERT_TRUE(b_after_a.die_field_c.same_shape(b_cold.die_field_c));
+  EXPECT_EQ(b_after_a.die_field_c.data(), b_cold.die_field_c.data());
+}
+
+// ------------------------------------------- bit-identity across threads --
+
+void expect_rows_identical(const std::vector<Fig6Row>& a,
+                           const std::vector<Fig6Row>& b,
+                           std::size_t threads) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("threads=" + std::to_string(threads) + " row=" +
+                 std::to_string(i));
+    EXPECT_EQ(a[i].scenario, b[i].scenario);
+    EXPECT_EQ(a[i].idle_state, b[i].idle_state);
+    EXPECT_EQ(a[i].cores, b[i].cores);
+    // Bitwise, not near: the parallel engine's contract is exactness.
+    EXPECT_EQ(a[i].die.max_c, b[i].die.max_c);
+    EXPECT_EQ(a[i].die.avg_c, b[i].die.avg_c);
+    EXPECT_EQ(a[i].die.grad_max_c_per_mm, b[i].die.grad_max_c_per_mm);
+    EXPECT_EQ(a[i].die.hotspot_cells, b[i].die.hotspot_cells);
+  }
+}
+
+TEST_F(ParallelEngineTest, Fig6BitIdenticalAcrossThreadCounts) {
+  ExperimentOptions options;
+  options.cell_size_m = kCell;
+
+  util::ThreadPool::set_global_thread_count(1);
+  SolveCache::global()->clear();
+  const std::vector<Fig6Row> serial = run_fig6_scenarios(options);
+
+  for (const std::size_t threads : {2u, 4u}) {
+    util::ThreadPool::set_global_thread_count(threads);
+    SolveCache::global()->clear();  // recompute, don't replay stored bits
+    expect_rows_identical(serial, run_fig6_scenarios(options), threads);
+  }
+}
+
+TEST_F(ParallelEngineTest, RackPlanBitIdenticalAcrossThreadCounts) {
+  RackCoordinator::Config config;
+  config.qos = workload::QoSRequirement{2.0};
+  config.cell_size_m = kCell;
+  const std::vector<std::string> racks{"x264", "canneal", "swaptions"};
+
+  util::ThreadPool::set_global_thread_count(1);
+  SolveCache::global()->clear();
+  const RackPlan serial = RackCoordinator(config).plan(racks);
+
+  for (const std::size_t threads : {2u, 4u}) {
+    util::ThreadPool::set_global_thread_count(threads);
+    SolveCache::global()->clear();
+    const RackPlan parallel = RackCoordinator(config).plan(racks);
+    ASSERT_EQ(parallel.servers.size(), serial.servers.size());
+    for (std::size_t i = 0; i < serial.servers.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " server=" +
+                   std::to_string(i));
+      EXPECT_EQ(parallel.servers[i].benchmark, serial.servers[i].benchmark);
+      EXPECT_EQ(parallel.servers[i].max_supply_temp_c,
+                serial.servers[i].max_supply_temp_c);
+      EXPECT_EQ(parallel.servers[i].package_power_w,
+                serial.servers[i].package_power_w);
+      EXPECT_EQ(parallel.servers[i].die_max_c, serial.servers[i].die_max_c);
+    }
+    EXPECT_EQ(parallel.cooling.supply_temp_c, serial.cooling.supply_temp_c);
+    EXPECT_EQ(parallel.cooling.return_temp_c, serial.cooling.return_temp_c);
+    EXPECT_EQ(parallel.cooling.chiller_electrical_w,
+              serial.cooling.chiller_electrical_w);
+  }
+}
+
+}  // namespace
+}  // namespace tpcool::core
