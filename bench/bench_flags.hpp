@@ -2,12 +2,15 @@
 /// \file bench_flags.hpp
 /// \brief Shared command-line handling for the bench binaries: a `--threads N`
 ///        flag (overrides TPCOOL_NUM_THREADS) so CI and local runs pin the
-///        solver thread count reproducibly.
+///        solver thread count reproducibly, and a `--cache-file PATH` flag
+///        (overrides TPCOOL_SOLVE_CACHE_FILE) that warms the process-global
+///        solve cache from a snapshot and atomically saves it back at exit.
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "tpcool/core/solve_cache.hpp"
 #include "tpcool/util/thread_pool.hpp"
 
 namespace tpcool::bench {
@@ -44,6 +47,43 @@ inline std::size_t apply_threads_flag(int& argc, char** argv) {
   argc = out;
   argv[argc] = nullptr;  // keep the argv[argc] == NULL contract
   return tpcool::util::ThreadPool::global().thread_count();
+}
+
+/// Consume `--cache-file PATH` (or `--cache-file=PATH`) from argv and attach
+/// the process-global SolveCache to that snapshot: load it now if it exists
+/// (a corrupt file warns and starts cold), atomically save at exit.  Compacts
+/// argv like apply_threads_flag.  Returns the path ("" when the flag is
+/// absent).  Because loaded values are pure functions of their keys, a
+/// snapshot-warmed run is bit-identical to a cold one — only faster.
+inline std::string apply_cache_file_flag(int& argc, char** argv) {
+  int out = 1;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--cache-file") {
+      if (i + 1 >= argc) {
+        std::cerr << "--cache-file expects a path\n";
+        std::exit(2);
+      }
+      path = argv[++i];
+    } else if (arg.rfind("--cache-file=", 0) == 0) {
+      path = arg.substr(13);
+    } else {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (path.empty()) {
+      std::cerr << "--cache-file expects a non-empty path\n";
+      std::exit(2);
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;  // keep the argv[argc] == NULL contract
+  if (!path.empty()) {
+    tpcool::core::SolveCache::attach_persistent_file(
+        tpcool::core::SolveCache::global(), path);
+  }
+  return path;
 }
 
 }  // namespace tpcool::bench

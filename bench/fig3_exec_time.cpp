@@ -1,15 +1,20 @@
 /// \file fig3_exec_time.cpp
 /// \brief Regenerates Fig. 3: execution time normalized to the baseline for
 ///        the five plotted configurations at fmax, for all 13 PARSEC
-///        benchmarks, with the 2x QoS limit marked.
+///        benchmarks, with the 2x QoS limit marked.  The per-benchmark rows
+///        fan out through core::run_fig3 (accepts --threads like the other
+///        benches; results are bit-identical for any thread count).
 
 #include <iostream>
 
+#include "bench_flags.hpp"
+#include "tpcool/core/experiment.hpp"
 #include "tpcool/util/table.hpp"
-#include "tpcool/workload/performance_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tpcool;
+  bench::apply_threads_flag(argc, argv);
+  bench::apply_cache_file_flag(argc, argv);
   std::cout << "== Fig. 3: normalized execution time @fmax (QoS limit = 2x) "
                "==\n\n";
 
@@ -19,16 +24,13 @@ int main() {
   header.push_back("meets 2x at (2,4)?");
   util::TablePrinter table(header);
 
-  for (const auto& bench : workload::parsec_benchmarks()) {
-    std::vector<std::string> row{bench.name};
-    double first = 0.0;
-    for (const auto& config : configs) {
-      const double t = workload::normalized_exec_time(bench, config);
-      if (config.label() == "(2,4,3.2)") first = t;
-      row.push_back(util::TablePrinter::fmt(t, 2));
+  for (const core::Fig3Row& row : core::run_fig3(core::ExperimentOptions{})) {
+    std::vector<std::string> cells{row.benchmark};
+    for (const double t : row.normalized_time) {
+      cells.push_back(util::TablePrinter::fmt(t, 2));
     }
-    row.push_back(first <= 2.0 ? "yes" : "no");
-    table.add_row(std::move(row));
+    cells.push_back(row.meets_2x_at_2_4 ? "yes" : "no");
+    table.add_row(std::move(cells));
   }
   table.print(std::cout);
 

@@ -1,25 +1,34 @@
 /// \file table1_cstates.cpp
 /// \brief Regenerates Table I: C-state power consumption of the Xeon E5 v4
-///        for all 8 cores at the three DVFS levels.
+///        for all 8 cores at the three DVFS levels.  The per-state rows fan
+///        out through core::run_table1 (accepts --threads like the other
+///        benches; results are bit-identical for any thread count).
 
 #include <iostream>
 
-#include "tpcool/power/cstates.hpp"
+#include "bench_flags.hpp"
+#include "tpcool/core/experiment.hpp"
 #include "tpcool/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tpcool;
+  bench::apply_threads_flag(argc, argv);
+  bench::apply_cache_file_flag(argc, argv);
   std::cout << "== Table I: C-state power, all 8 cores ==\n\n";
+
+  const std::vector<core::Table1Row> rows = core::run_table1();
 
   util::TablePrinter table({"state", "latency [us]", "P @2.6GHz [W]",
                             "P @2.9GHz [W]", "P @3.2GHz [W]"});
-  for (const power::CState s :
-       {power::CState::kPoll, power::CState::kC1, power::CState::kC1E}) {
-    table.add_row({power::to_string(s),
-                   util::TablePrinter::fmt(power::cstate_latency_us(s), 0),
-                   util::TablePrinter::fmt(power::cstate_power_all8_w(s, 2.6), 0),
-                   util::TablePrinter::fmt(power::cstate_power_all8_w(s, 2.9), 0),
-                   util::TablePrinter::fmt(power::cstate_power_all8_w(s, 3.2), 0)});
+  for (const core::Table1Row& row : rows) {
+    if (row.state == power::CState::kC3 || row.state == power::CState::kC6) {
+      continue;  // extension rows printed separately below
+    }
+    table.add_row({power::to_string(row.state),
+                   util::TablePrinter::fmt(row.latency_us, 0),
+                   util::TablePrinter::fmt(row.power_all8_w[0], 0),
+                   util::TablePrinter::fmt(row.power_all8_w[1], 0),
+                   util::TablePrinter::fmt(row.power_all8_w[2], 0)});
   }
   table.print(std::cout);
 
@@ -29,10 +38,13 @@ int main() {
                "C1E    10   9    9    9\n"
                "\nmodel extension (deeper states, datasheet-consistent):\n";
   util::TablePrinter ext({"state", "latency [us]", "P [W] (all 8 cores)"});
-  for (const power::CState s : {power::CState::kC3, power::CState::kC6}) {
-    ext.add_row({power::to_string(s),
-                 util::TablePrinter::fmt(power::cstate_latency_us(s), 0),
-                 util::TablePrinter::fmt(power::cstate_power_all8_w(s, 3.2), 1)});
+  for (const core::Table1Row& row : rows) {
+    if (row.state != power::CState::kC3 && row.state != power::CState::kC6) {
+      continue;
+    }
+    ext.add_row({power::to_string(row.state),
+                 util::TablePrinter::fmt(row.latency_us, 0),
+                 util::TablePrinter::fmt(row.power_all8_w[2], 1)});
   }
   ext.print(std::cout);
   return 0;

@@ -15,7 +15,9 @@ int main() {
 
   // The evaluator builds a server around each candidate design and runs the
   // worst-case workload (8 cores, 16 threads, fmax) through the coupled
-  // thermal + thermosyphon solve.
+  // thermal + thermosyphon solve.  The optimizer evaluates candidates
+  // concurrently (util::parallel_map); this lambda is safe for that because
+  // it is stateless — every call constructs its own ServerModel.
   const auto evaluate = [](const thermosyphon::ThermosyphonDesign& design,
                            const thermosyphon::OperatingPoint& op) {
     core::ServerConfig config;

@@ -9,6 +9,7 @@
 #include "tpcool/mapping/proposed.hpp"
 #include "tpcool/util/error.hpp"
 #include "tpcool/util/rootfind.hpp"
+#include "tpcool/workload/performance_model.hpp"
 
 namespace tpcool::core {
 
@@ -30,6 +31,57 @@ std::vector<workload::BenchmarkProfile> selected_benchmarks(
     return all;
   }
   return {all.begin(), all.begin() + options.max_benchmarks};
+}
+
+std::vector<Fig3Row> run_fig3(const ExperimentOptions& options) {
+  const std::vector<workload::BenchmarkProfile> benches =
+      selected_benchmarks(options);
+  const std::vector<workload::Configuration> configs =
+      workload::fig3_configurations();
+  // The (2,4,fmax) column carries the paper's QoS annotation.
+  const workload::Configuration annotated{2, 2, 3.2};
+
+  // One benchmark per task; the performance model needs no context, so the
+  // chunk context is just the chunk index.
+  return parallel_map<Fig3Row>(
+      benches.size(), kExperimentGrain,
+      [](std::size_t chunk) { return chunk; },
+      [&](std::size_t&, std::size_t i) {
+        Fig3Row row;
+        row.benchmark = benches[i].name;
+        row.normalized_time.resize(configs.size());
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+          row.normalized_time[c] =
+              workload::normalized_exec_time(benches[i], configs[c]);
+          if (configs[c] == annotated) {
+            row.meets_2x_at_2_4 = row.normalized_time[c] <= 2.0;
+          }
+        }
+        return row;
+      });
+}
+
+const std::vector<double>& table1_frequencies() {
+  static const std::vector<double> freqs{2.6, 2.9, 3.2};
+  return freqs;
+}
+
+std::vector<Table1Row> run_table1() {
+  const std::vector<power::CState>& states = power::all_cstates();
+  const std::vector<double>& freqs = table1_frequencies();
+  return parallel_map<Table1Row>(
+      states.size(), kExperimentGrain,
+      [](std::size_t chunk) { return chunk; },
+      [&](std::size_t&, std::size_t i) {
+        Table1Row row;
+        row.state = states[i];
+        row.latency_us = power::cstate_latency_us(states[i]);
+        row.power_all8_w.resize(freqs.size());
+        for (std::size_t f = 0; f < freqs.size(); ++f) {
+          row.power_all8_w[f] = power::cstate_power_all8_w(states[i], freqs[f]);
+        }
+        return row;
+      });
 }
 
 Fig2Result run_fig2_motivation(const ExperimentOptions& options) {
@@ -143,9 +195,11 @@ std::vector<Table2Row> run_table2(const ExperimentOptions& options) {
        {Approach::kProposed, Approach::kSoaBalancing,
         Approach::kSoaInletFirst}) {
     // All of this approach's (QoS, benchmark) cells are independent
-    // scheduler runs: solve the whole grid in parallel, then aggregate the
-    // per-QoS averages in the serial order (sum order is part of the
-    // bit-determinism contract).
+    // scheduler runs: solve the whole grid in parallel.  Cell (q, b) lives
+    // at request index q * benches.size() + b, and the averaging below
+    // addresses cells by that index and reduces in benchmark-index order —
+    // the result bits depend only on the grid layout, never on which
+    // thread or schedule produced a cell.
     std::vector<ScheduleRequest> requests;
     for (const workload::QoSRequirement& qos : workload::qos_levels()) {
       for (const workload::BenchmarkProfile& bench : benches) {
@@ -161,13 +215,14 @@ std::vector<Table2Row> run_table2(const ExperimentOptions& options) {
         server_config_for(approach, options.cell_size_m)
             .operating_point.water_inlet_c;
 
-    std::size_t next = 0;
-    for (const workload::QoSRequirement& qos : workload::qos_levels()) {
+    const std::vector<workload::QoSRequirement>& qos_levels =
+        workload::qos_levels();
+    for (std::size_t q = 0; q < qos_levels.size(); ++q) {
       Table2Row row;
       row.approach = approach;
-      row.qos_factor = qos.factor;
+      row.qos_factor = qos_levels[q].factor;
       for (std::size_t b = 0; b < benches.size(); ++b) {
-        const SimulationResult& sim = sims[next++];
+        const SimulationResult& sim = sims[q * benches.size() + b];
         row.die_max_c += sim.die.max_c;
         row.die_grad_c_per_mm += sim.die.grad_max_c_per_mm;
         row.package_max_c += sim.package.max_c;

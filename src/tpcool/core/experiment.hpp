@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "tpcool/core/pipelines.hpp"
+#include "tpcool/power/cstates.hpp"
 
 namespace tpcool::core {
 
@@ -40,6 +41,47 @@ struct Fig2Result {
 };
 
 [[nodiscard]] Fig2Result run_fig2_motivation(const ExperimentOptions& options);
+
+// ---------------------------------------------------------------- Fig. 3 --
+
+/// One Fig. 3 row: execution time of one benchmark normalized to the
+/// (8,16,fmax) baseline, across the plotted configurations.
+struct Fig3Row {
+  std::string benchmark;
+  /// Normalized execution time per configuration, index-aligned with
+  /// workload::fig3_configurations().
+  std::vector<double> normalized_time;
+  /// Whether the (2,4,fmax) configuration meets the 2x QoS limit — the
+  /// column the paper annotates.
+  bool meets_2x_at_2_4 = false;
+};
+
+/// Regenerate Fig. 3 for the benchmarks selected by `options`
+/// (`max_benchmarks`; the grid pitch is irrelevant — no thermal solves).
+/// Rows fan out over the thread pool; results are bit-identical for any
+/// thread count.
+[[nodiscard]] std::vector<Fig3Row> run_fig3(const ExperimentOptions& options);
+
+// --------------------------------------------------------------- Table I --
+
+/// One Table I row: resume latency and all-8-core idle power of one C-state
+/// across the DVFS levels.
+struct Table1Row {
+  power::CState state = power::CState::kPoll;
+  double latency_us = 0.0;
+  /// Idle power of all 8 cores per frequency, index-aligned with
+  /// table1_frequencies().
+  std::vector<double> power_all8_w;
+};
+
+/// The three DVFS levels tabulated in Table I [GHz].
+[[nodiscard]] const std::vector<double>& table1_frequencies();
+
+/// Regenerate Table I over every modelled C-state (the paper's POLL/C1/C1E
+/// rows plus the datasheet-consistent C3/C6 extensions), shallowest first.
+/// Rows fan out over the thread pool; results are bit-identical for any
+/// thread count.
+[[nodiscard]] std::vector<Table1Row> run_table1();
 
 // ---------------------------------------------------------------- Fig. 5 --
 

@@ -26,56 +26,20 @@
 /// bit-identical results.
 
 #include <cstddef>
-#include <exception>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "tpcool/core/pipelines.hpp"
 #include "tpcool/core/solve_cache.hpp"
-#include "tpcool/util/error.hpp"
-#include "tpcool/util/thread_pool.hpp"
+#include "tpcool/util/parallel_map.hpp"
 
 namespace tpcool::core {
 
-/// Deterministic parallel map over `count` independent tasks.
-///
-/// Splits [0, count) into chunks of `grain` tasks, runs
-/// `make_context(chunk_index)` once per chunk and
-/// `task(context, task_index)` for every task of the chunk in index order,
-/// on the global ThreadPool.  The first exception (in chunk order) is
-/// rethrown after all chunks finish.
-///
-/// `grain` trades context-construction overhead against parallel width and
-/// must be a fixed constant at each call site — deriving it from the thread
-/// count would change warm-state chaining across machines.
-template <typename Result, typename MakeContext, typename Task>
-std::vector<Result> parallel_map(std::size_t count, std::size_t grain,
-                                 MakeContext&& make_context, Task&& task) {
-  TPCOOL_REQUIRE(grain >= 1, "parallel_map needs grain >= 1");
-  std::vector<Result> results(count);
-  if (count == 0) return results;
-  const std::size_t chunk_count = (count + grain - 1) / grain;
-  std::vector<std::exception_ptr> errors(chunk_count);
-  util::ThreadPool::global().parallel_for(
-      0, count, grain, [&](std::size_t lo, std::size_t hi) {
-        const std::size_t chunk = lo / grain;
-        try {
-          auto context = make_context(chunk);
-          for (std::size_t i = lo; i < hi; ++i) {
-            results[i] = task(context, i);
-          }
-        } catch (...) {
-          // Worker bodies must not throw (the pool would terminate); park
-          // the error and rethrow deterministically on the caller.
-          errors[chunk] = std::current_exception();
-        }
-      });
-  for (std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
-  return results;
-}
+/// The generic deterministic fan-out engine (see util/parallel_map.hpp for
+/// the chunking and determinism contract).  Re-exported here because the
+/// experiment runners and their tests spell it `core::parallel_map`.
+using util::parallel_map;
 
 /// Cache scope prefix for a pipeline-built server (see
 /// ServerModel::enable_solve_cache): approach and grid pitch fully

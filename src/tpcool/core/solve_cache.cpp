@@ -3,10 +3,267 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
 
 #include "tpcool/util/error.hpp"
 
 namespace tpcool::core {
+
+// ------------------------------------------------------- snapshot format --
+//
+// Versioned binary snapshot, independent of host endianness and word size
+// (all integers little-endian, doubles as IEEE-754 bit patterns):
+//
+//   magic   8 bytes  "TPCOOLSC"
+//   u32     schema version (kSnapshotVersion); any other version is refused
+//   u64     entry count
+//   entry*  most- to least-recently-used:
+//             u64 FNV-1a digest of the key bytes
+//             u64 key length, key bytes
+//             u64 payload length, payload bytes (one SimulationResult)
+//   u64     FNV-1a digest of every preceding byte of the file
+//
+// The trailing stream digest catches truncation and bit rot wholesale; the
+// per-entry key digests localize corruption to an entry.  load() validates
+// every length against the remaining bytes before trusting it, so a hostile
+// or damaged file raises SnapshotError instead of undefined behavior.
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'P', 'C', 'O', 'O', 'L', 'S', 'C'};
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(const char* data, std::size_t size,
+                    std::uint64_t seed = kFnvOffset) {
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+void put_u8(std::string& out, std::uint8_t value) {
+  out.push_back(static_cast<char>(value));
+}
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+void put_f64(std::string& out, double value) {
+  put_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+void put_grid(std::string& out, const util::Grid2D<double>& grid) {
+  put_u64(out, grid.nx());
+  put_u64(out, grid.ny());
+  for (const double value : grid.data()) put_f64(out, value);
+}
+
+void put_metrics(std::string& out, const thermal::ThermalMetrics& m) {
+  put_f64(out, m.max_c);
+  put_f64(out, m.avg_c);
+  put_f64(out, m.grad_max_c_per_mm);
+  put_u64(out, m.hotspot_cells);
+  put_u64(out, m.cell_count);
+}
+
+/// Serialize one SimulationResult, field for field.  Any new field must be
+/// added here AND bump kSnapshotVersion: old snapshots are refused rather
+/// than silently misread.
+std::string serialize_result(const SimulationResult& r) {
+  std::string out;
+  out.reserve(64 + 8 * (r.die_field_c.size() + r.package_field_c.size() +
+                        r.syphon.htc_map.size() +
+                        r.syphon.fluid_temp_map.size()));
+  put_metrics(out, r.die);
+  put_metrics(out, r.package);
+  put_f64(out, r.tcase_c);
+  put_f64(out, r.total_power_w);
+  put_f64(out, r.power.active_cores_w);
+  put_f64(out, r.power.idle_cores_w);
+  put_f64(out, r.power.mcio_w);
+  put_f64(out, r.power.llc_w);
+  put_f64(out, r.syphon.t_sat_c);
+  put_f64(out, r.syphon.refrigerant_flow_kg_s);
+  put_f64(out, r.syphon.loop_exit_quality);
+  put_f64(out, r.syphon.water_outlet_c);
+  put_f64(out, r.syphon.q_total_w);
+  put_grid(out, r.syphon.htc_map);
+  put_grid(out, r.syphon.fluid_temp_map);
+  put_u64(out, r.syphon.channels.size());
+  for (const thermosyphon::ChannelSummary& ch : r.syphon.channels) {
+    put_f64(out, ch.exit_quality);
+    put_f64(out, ch.absorbed_w);
+    put_u8(out, ch.dried_out ? 1 : 0);
+  }
+  put_u8(out, r.syphon.any_dryout ? 1 : 0);
+  put_grid(out, r.die_field_c);
+  put_grid(out, r.package_field_c);
+  put_u64(out, r.active_cores.size());
+  for (const int core : r.active_cores) {
+    put_u64(out, std::bit_cast<std::uint64_t>(static_cast<std::int64_t>(core)));
+  }
+  return out;
+}
+
+/// Bounds-checked reader over a byte buffer; every underflow throws
+/// SnapshotError so truncated files fail loudly at the exact spot.
+class Cursor {
+ public:
+  Cursor(const std::string& buffer, std::size_t pos, std::size_t end)
+      : buffer_(buffer), pos_(pos), end_(end) {}
+
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return end_ - pos_; }
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(buffer_[pos_++]);
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t value = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      value |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(buffer_[pos_++]))
+               << shift;
+    }
+    return value;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      value |= static_cast<std::uint64_t>(
+                   static_cast<unsigned char>(buffer_[pos_++]))
+               << shift;
+    }
+    return value;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string bytes(std::size_t size) {
+    need(size);
+    std::string out = buffer_.substr(pos_, size);
+    pos_ += size;
+    return out;
+  }
+
+  void skip(std::size_t size) {
+    need(size);
+    pos_ += size;
+  }
+
+  /// A length field must fit the remaining bytes before it is trusted.
+  std::size_t length(const char* what) {
+    const std::uint64_t value = u64();
+    if (value > remaining()) {
+      throw SnapshotError(std::string("truncated solve-cache snapshot: ") +
+                          what + " length exceeds the file");
+    }
+    return static_cast<std::size_t>(value);
+  }
+
+ private:
+  void need(std::size_t count) const {
+    if (end_ - pos_ < count) {
+      throw SnapshotError(
+          "truncated solve-cache snapshot: unexpected end of file");
+    }
+  }
+
+  const std::string& buffer_;
+  std::size_t pos_;
+  std::size_t end_;
+};
+
+util::Grid2D<double> parse_grid(Cursor& cursor) {
+  const std::uint64_t nx = cursor.u64();
+  const std::uint64_t ny = cursor.u64();
+  if (nx == 0 || ny == 0) {
+    if (nx != ny) {
+      throw SnapshotError("corrupt solve-cache snapshot: half-empty grid");
+    }
+    return {};
+  }
+  // Overflow-safe bound: nx * ny doubles must fit the remaining bytes.
+  if (nx > (cursor.remaining() / 8) / ny) {
+    throw SnapshotError(
+        "truncated solve-cache snapshot: grid exceeds the file");
+  }
+  util::Grid2D<double> grid(static_cast<std::size_t>(nx),
+                            static_cast<std::size_t>(ny));
+  for (double& value : grid.data()) value = cursor.f64();
+  return grid;
+}
+
+thermal::ThermalMetrics parse_metrics(Cursor& cursor) {
+  thermal::ThermalMetrics m;
+  m.max_c = cursor.f64();
+  m.avg_c = cursor.f64();
+  m.grad_max_c_per_mm = cursor.f64();
+  m.hotspot_cells = static_cast<std::size_t>(cursor.u64());
+  m.cell_count = static_cast<std::size_t>(cursor.u64());
+  return m;
+}
+
+SimulationResult parse_result(Cursor& cursor) {
+  SimulationResult r;
+  r.die = parse_metrics(cursor);
+  r.package = parse_metrics(cursor);
+  r.tcase_c = cursor.f64();
+  r.total_power_w = cursor.f64();
+  r.power.active_cores_w = cursor.f64();
+  r.power.idle_cores_w = cursor.f64();
+  r.power.mcio_w = cursor.f64();
+  r.power.llc_w = cursor.f64();
+  r.syphon.t_sat_c = cursor.f64();
+  r.syphon.refrigerant_flow_kg_s = cursor.f64();
+  r.syphon.loop_exit_quality = cursor.f64();
+  r.syphon.water_outlet_c = cursor.f64();
+  r.syphon.q_total_w = cursor.f64();
+  r.syphon.htc_map = parse_grid(cursor);
+  r.syphon.fluid_temp_map = parse_grid(cursor);
+  const std::size_t channel_count = cursor.length("channel list");
+  r.syphon.channels.resize(channel_count);
+  for (thermosyphon::ChannelSummary& ch : r.syphon.channels) {
+    ch.exit_quality = cursor.f64();
+    ch.absorbed_w = cursor.f64();
+    ch.dried_out = cursor.u8() != 0;
+  }
+  r.syphon.any_dryout = cursor.u8() != 0;
+  r.die_field_c = parse_grid(cursor);
+  r.package_field_c = parse_grid(cursor);
+  const std::size_t core_count = cursor.length("active-core list");
+  r.active_cores.resize(core_count);
+  for (int& core : r.active_cores) {
+    core = static_cast<int>(std::bit_cast<std::int64_t>(cursor.u64()));
+  }
+  return r;
+}
+
+}  // namespace
 
 SolveCache::SolveCache(std::size_t capacity) : capacity_(capacity) {
   TPCOOL_REQUIRE(capacity >= 1, "solve cache needs capacity >= 1");
@@ -24,9 +281,16 @@ void SolveCache::evict_over_capacity() {
   }
 }
 
+void SolveCache::append_lru(std::string key, SimulationResult result) {
+  lru_.push_back(Entry{std::move(key), std::move(result)});
+  const auto it = std::prev(lru_.end());
+  index_.emplace(it->key, it);
+}
+
 SimulationResult SolveCache::get_or_compute(
     const std::string& key,
     const std::function<SimulationResult()>& compute) {
+  std::shared_ptr<InFlight> mine;
   {
     std::unique_lock lock(mutex_);
     while (true) {
@@ -36,13 +300,29 @@ SimulationResult SolveCache::get_or_compute(
         touch(it->second);
         return it->second->result;
       }
-      if (!in_flight_.contains(key)) break;
-      // Another thread is computing this key: wait for its result instead
-      // of duplicating the solve, and count the serial schedule's hit.
-      // (If eviction dropped the result before we woke, loop and compute.)
-      compute_done_.wait(lock);
+      const auto fit = in_flight_.find(key);
+      if (fit == in_flight_.end()) break;
+      // Another thread is computing this key: wait on its in-flight record
+      // and consume the result from it directly.  The record is pinned by
+      // this shared reference, so eviction pressure dropping the stored
+      // entry between the compute and this wake-up cannot force a
+      // recompute — miss/hit counters are exact at any capacity.
+      const std::shared_ptr<InFlight> theirs = fit->second;
+      ++stats_.waiting;
+      compute_done_.wait(lock,
+                         [&] { return theirs->ready || theirs->failed; });
+      --stats_.waiting;
+      if (theirs->ready) {
+        ++stats_.hits;
+        const auto stored = index_.find(key);
+        if (stored != index_.end()) touch(stored->second);
+        return theirs->result;
+      }
+      // The computing thread threw; loop and take over (or wait on a newer
+      // in-flight record).
     }
-    in_flight_.insert(key);
+    mine = std::make_shared<InFlight>();
+    in_flight_.emplace(key, mine);
     ++stats_.misses;
   }
   // Compute outside the lock so independent keys solve in parallel.
@@ -50,18 +330,23 @@ SimulationResult SolveCache::get_or_compute(
   try {
     result = compute();
   } catch (...) {
-    std::lock_guard lock(mutex_);
-    in_flight_.erase(key);
+    {
+      std::lock_guard lock(mutex_);
+      mine->failed = true;
+      in_flight_.erase(key);
+    }
     compute_done_.notify_all();
     throw;
   }
   put(key, result);
   {
     std::lock_guard lock(mutex_);
+    mine->result = std::move(result);
+    mine->ready = true;
     in_flight_.erase(key);
   }
   compute_done_.notify_all();
-  return result;
+  return mine->result;
 }
 
 bool SolveCache::try_get(const std::string& key, SimulationResult& out) {
@@ -100,12 +385,241 @@ void SolveCache::clear() {
   std::lock_guard lock(mutex_);
   lru_.clear();
   index_.clear();
+  const std::size_t waiting = stats_.waiting;  // a gauge, not a counter
   stats_ = Stats{};
+  stats_.waiting = waiting;
+}
+
+// --------------------------------------------------------- persistence --
+
+void SolveCache::save(const std::string& path) const {
+  std::string blob;
+  {
+    std::lock_guard lock(mutex_);
+    blob.append(kMagic, sizeof(kMagic));
+    put_u32(blob, kSnapshotVersion);
+    put_u64(blob, lru_.size());
+    for (const Entry& entry : lru_) {
+      const std::string payload = serialize_result(entry.result);
+      put_u64(blob, fnv1a(entry.key.data(), entry.key.size()));
+      put_u64(blob, entry.key.size());
+      blob += entry.key;
+      put_u64(blob, payload.size());
+      blob += payload;
+    }
+  }
+  put_u64(blob, fnv1a(blob.data(), blob.size()));
+
+  // Write-temp-then-rename: readers (and a crash mid-write) never observe
+  // a partial snapshot.  Concurrent writers to one path can interleave in
+  // the temp file; the stream digest makes that a detected cold start, not
+  // silent corruption.
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream os(temp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw SnapshotError("cannot open " + temp + " for writing");
+    }
+    os.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    os.flush();
+    if (!os) {
+      throw SnapshotError("short write to " + temp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::filesystem::remove(temp, ec);
+    throw SnapshotError("cannot rename " + temp + " to " + path);
+  }
+}
+
+void SolveCache::load(const std::string& path) {
+  std::string blob;
+  {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+      throw SnapshotError("cannot open solve-cache snapshot " + path);
+    }
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    if (!is.good() && !is.eof()) {
+      throw SnapshotError("cannot read solve-cache snapshot " + path);
+    }
+    blob = std::move(buffer).str();
+  }
+
+  constexpr std::size_t kHeaderSize = sizeof(kMagic) + 4 + 8;
+  if (blob.size() < kHeaderSize + 8) {
+    throw SnapshotError("truncated solve-cache snapshot " + path +
+                        ": shorter than the fixed header");
+  }
+  if (!std::equal(kMagic, kMagic + sizeof(kMagic), blob.begin())) {
+    throw SnapshotError(path + " is not a solve-cache snapshot (bad magic)");
+  }
+  Cursor cursor(blob, sizeof(kMagic), blob.size() - 8);
+  // Version before digest: a future schema gets the clear refusal below
+  // even if it also moves the digest.
+  const std::uint32_t version = cursor.u32();
+  if (version != kSnapshotVersion) {
+    throw SnapshotError(
+        "solve-cache snapshot " + path + " has schema version " +
+        std::to_string(version) + "; this build reads only version " +
+        std::to_string(kSnapshotVersion) + " — delete it and re-warm");
+  }
+  {
+    Cursor digest_cursor(blob, blob.size() - 8, blob.size());
+    const std::uint64_t recorded = digest_cursor.u64();
+    const std::uint64_t actual = fnv1a(blob.data(), blob.size() - 8);
+    if (recorded != actual) {
+      throw SnapshotError("corrupt solve-cache snapshot " + path +
+                          ": stream digest mismatch (truncated or damaged)");
+    }
+  }
+  const std::uint64_t entry_count = cursor.u64();
+
+  std::vector<std::pair<std::string, SimulationResult>> entries;
+  entries.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(entry_count, 4096)));
+  for (std::uint64_t i = 0; i < entry_count; ++i) {
+    const std::uint64_t key_digest = cursor.u64();
+    const std::size_t key_size = cursor.length("key");
+    std::string key = cursor.bytes(key_size);
+    if (fnv1a(key.data(), key.size()) != key_digest) {
+      throw SnapshotError("corrupt solve-cache snapshot " + path +
+                          ": key digest mismatch at entry " +
+                          std::to_string(i));
+    }
+    const std::size_t payload_size = cursor.length("payload");
+    Cursor payload(blob, cursor.pos(), cursor.pos() + payload_size);
+    SimulationResult result = parse_result(payload);
+    if (payload.remaining() != 0) {
+      throw SnapshotError("corrupt solve-cache snapshot " + path +
+                          ": payload of entry " + std::to_string(i) +
+                          " has trailing bytes");
+    }
+    cursor.skip(payload_size);  // parse_result consumed a bounded view
+    entries.emplace_back(std::move(key), std::move(result));
+  }
+  if (cursor.remaining() != 0) {
+    throw SnapshotError("corrupt solve-cache snapshot " + path +
+                        ": trailing bytes after the last entry");
+  }
+
+  std::lock_guard lock(mutex_);
+  for (auto& [key, result] : entries) {
+    if (index_.contains(key)) continue;  // existing entries win (identical
+                                         // values by construction)
+    append_lru(std::move(key), std::move(result));
+  }
+  evict_over_capacity();
+}
+
+std::uint64_t SolveCache::content_digest() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t digest = kFnvOffset;
+  for (const Entry& entry : lru_) {
+    digest = fnv1a(entry.key.data(), entry.key.size(), digest);
+    const std::string payload = serialize_result(entry.result);
+    digest = fnv1a(payload.data(), payload.size(), digest);
+  }
+  return digest;
+}
+
+namespace {
+
+/// Caches registered for save-at-exit; holds shared ownership so the
+/// snapshot can be written even if all other references are gone.
+struct PersistenceRegistry {
+  std::mutex mutex;
+  bool atexit_registered = false;
+  std::vector<std::pair<std::shared_ptr<SolveCache>, std::string>> entries;
+
+  static PersistenceRegistry& instance() {
+    static PersistenceRegistry registry;
+    return registry;
+  }
+
+  static void save_all() {
+    PersistenceRegistry& registry = instance();
+    std::lock_guard lock(registry.mutex);
+    for (const auto& [cache, path] : registry.entries) {
+      try {
+        // Merge-save: fold the current on-disk snapshot back in first
+        // (in-memory entries win), so a process that cleared or only
+        // partially exercised the cache never shrinks the snapshot —
+        // warmth accumulates monotonically, bounded by the capacity.
+        try {
+          cache->load(path);
+        } catch (const SnapshotError&) {
+          // Missing or damaged file: save fresh.
+        }
+        cache->save(path);
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "tpcool: solve-cache save to %s failed: %s\n",
+                     path.c_str(), error.what());
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void SolveCache::attach_persistent_file(
+    const std::shared_ptr<SolveCache>& cache, std::string path) {
+  TPCOOL_REQUIRE(cache != nullptr, "attach_persistent_file needs a cache");
+  TPCOOL_REQUIRE(!path.empty(), "attach_persistent_file needs a path");
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) {
+    try {
+      cache->load(path);
+    } catch (const SnapshotError& error) {
+      // A bad snapshot must never fail the run; start cold and the exit
+      // save will replace it with a good one.
+      std::fprintf(stderr, "tpcool: ignoring solve-cache snapshot: %s\n",
+                   error.what());
+    }
+  }
+  PersistenceRegistry& registry = PersistenceRegistry::instance();
+  std::lock_guard lock(registry.mutex);
+  // One snapshot path per cache, last attach wins: a bench's --cache-file
+  // replaces the TPCOOL_SOLVE_CACHE_FILE registration made by global(),
+  // so the env path is not also rewritten at exit.
+  for (auto& [existing, existing_path] : registry.entries) {
+    if (existing == cache) {
+      existing_path = std::move(path);
+      return;
+    }
+  }
+  registry.entries.emplace_back(cache, std::move(path));
+  if (!registry.atexit_registered) {
+    // The registry (a function-local static) is constructed before this
+    // handler registers, so it is destroyed after the handler runs.
+    std::atexit(&PersistenceRegistry::save_all);
+    registry.atexit_registered = true;
+  }
 }
 
 const std::shared_ptr<SolveCache>& SolveCache::global() {
-  static const std::shared_ptr<SolveCache> cache =
-      std::make_shared<SolveCache>();
+  static const std::shared_ptr<SolveCache> cache = [] {
+    std::size_t capacity = kDefaultCapacity;
+    if (const char* env = std::getenv("TPCOOL_SOLVE_CACHE_CAPACITY")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed >= 1) {
+        capacity = static_cast<std::size_t>(parsed);
+      } else {
+        std::fprintf(stderr,
+                     "tpcool: ignoring TPCOOL_SOLVE_CACHE_CAPACITY=%s "
+                     "(want an integer >= 1)\n",
+                     env);
+      }
+    }
+    auto created = std::make_shared<SolveCache>(capacity);
+    if (const char* path = std::getenv("TPCOOL_SOLVE_CACHE_FILE")) {
+      if (path[0] != '\0') attach_persistent_file(created, path);
+    }
+    return created;
+  }();
   return cache;
 }
 

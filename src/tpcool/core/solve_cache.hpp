@@ -1,9 +1,9 @@
 #pragma once
 /// \file solve_cache.hpp
 /// \brief Thread-safe memo of coupled-solve results, shared by the parallel
-///        experiment engine.
+///        experiment engine, with versioned on-disk snapshots.
 ///
-/// Experiment sweeps (Table II rows, Fig. 6 scenarios, the oracle's subset
+/// Experiment sweeps (Fig. 3/5/6 rows, Table I/II cells, the oracle's subset
 /// enumeration, rack supply-temperature scans) and the acceptance tests
 /// repeatedly request the same (server, workload, placement, operating
 /// point) solves.  The cache deduplicates them across runners and — because
@@ -12,22 +12,41 @@
 /// of its key.  That purity is what makes the parallel experiment engine
 /// bit-deterministic: a racing duplicate compute produces the identical
 /// bits, so it never matters which thread's result is stored or served.
+/// Purity is also what makes snapshots sound: a value loaded from disk is
+/// bit-identical to the value a cold re-solve of its key would produce, so
+/// warm-loaded runs reproduce cold runs exactly.
+///
+/// Persistence: `save()` / `load()` write and read a versioned, endian-safe
+/// binary snapshot (schema `kSnapshotVersion`, per-entry key digests and a
+/// whole-stream digest, so truncation and corruption are detected, never
+/// undefined behavior).  Setting `TPCOOL_SOLVE_CACHE_FILE=<path>` (or
+/// passing `--cache-file <path>` to a bench binary) loads the snapshot into
+/// the process-global cache at startup and atomically rewrites it at exit,
+/// so bench reruns and the slow CTest suites start warm.
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "tpcool/core/server.hpp"
 #include "tpcool/workload/benchmark.hpp"
 #include "tpcool/workload/configuration.hpp"
 
 namespace tpcool::core {
+
+/// Thrown by SolveCache::load for unreadable, truncated, corrupt, or
+/// schema-mismatched snapshot files.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Least-recently-used memo from solve keys to SimulationResults.
 ///
@@ -37,15 +56,23 @@ namespace tpcool::core {
 /// the first caller computes, later callers wait and count a hit — exactly
 /// the serial schedule — so the miss/hit counters are deterministic and
 /// machine-independent (the regression gate in
-/// scripts/check_bench_regression.py relies on this).  The one exception:
-/// if eviction pressure drops a key between its compute and a waiter's
-/// wake-up, the waiter recomputes (an extra miss); keep sweeps' working
-/// sets under `capacity()` for exact counts.
+/// scripts/check_bench_regression.py relies on this).  Waiters consume the
+/// result from the in-flight computation record itself, not from the LRU
+/// store, so dedup is exact under any eviction pressure — a key evicted
+/// between its compute and a waiter's wake-up is still served.  A key
+/// evicted and *re-requested later* is a genuine capacity miss, and which
+/// entry eviction drops can depend on the parallel touch order: keep a
+/// sweep's unique-key working set under capacity() (or raise it via
+/// TPCOOL_SOLVE_CACHE_CAPACITY) for cross-run-exact counts.
 class SolveCache {
  public:
   /// Capacity is in entries; one 1 mm-grid SimulationResult is ~100 KB, so
-  /// the default bounds the cache around tens of MB.
+  /// the default bounds the cache around tens of MB.  The process-global
+  /// cache honors a TPCOOL_SOLVE_CACHE_CAPACITY env override.
   static constexpr std::size_t kDefaultCapacity = 256;
+
+  /// Snapshot schema version; load() refuses any other version.
+  static constexpr std::uint32_t kSnapshotVersion = 1;
 
   explicit SolveCache(std::size_t capacity = kDefaultCapacity);
 
@@ -58,6 +85,9 @@ class SolveCache {
     std::size_t misses = 0;
     std::size_t evictions = 0;
     std::size_t size = 0;
+    /// Threads currently blocked on an in-flight computation (a gauge, not
+    /// a counter; clear() does not reset it).
+    std::size_t waiting = 0;
   };
 
   /// Serve `key` from the cache, or run `compute`, store and return its
@@ -81,8 +111,44 @@ class SolveCache {
   /// Drop all entries and reset the counters.
   void clear();
 
+  // ------------------------------------------------------- persistence --
+
+  /// Write every entry (most- to least-recently-used) to `path` as a
+  /// versioned binary snapshot.  The write is atomic: a temporary file is
+  /// written and then renamed over `path`, so readers never observe a
+  /// partial snapshot.  Throws SnapshotError when the file cannot be
+  /// written.
+  void save(const std::string& path) const;
+
+  /// Merge the snapshot at `path` into this cache.  Loaded entries join
+  /// behind the existing ones in saved recency order (existing keys win;
+  /// values for one key are identical by construction) and the usual
+  /// capacity eviction applies.  Hit/miss counters are not touched.
+  /// Throws SnapshotError — never UB — on unreadable, truncated, corrupt,
+  /// or schema-mismatched files.
+  void load(const std::string& path);
+
+  /// Order-sensitive FNV-1a digest over all entries (keys and payload
+  /// bytes, MRU first).  Equal digests after save() + load() into an empty
+  /// cache certify a lossless round trip.
+  [[nodiscard]] std::uint64_t content_digest() const;
+
+  /// Load `path` into `cache` now if the file exists (a corrupt snapshot
+  /// warns on stderr and starts cold — a cache must never make a run
+  /// fail), and register a process-exit hook that atomically saves the
+  /// cache back to `path`.  The exit save first folds the then-current
+  /// on-disk snapshot back in (in-memory entries win), so warmth
+  /// accumulates across processes instead of being clobbered by a run
+  /// that cleared the cache.  One path per cache, last attach wins — a
+  /// bench's `--cache-file` replaces the TPCOOL_SOLVE_CACHE_FILE
+  /// registration.  The registry keeps `cache` alive until exit.
+  static void attach_persistent_file(const std::shared_ptr<SolveCache>& cache,
+                                     std::string path);
+
   /// Process-wide cache shared by the experiment runners, the rack
-  /// coordinator and the oracle sweeps.
+  /// coordinator and the oracle sweeps.  Reads TPCOOL_SOLVE_CACHE_CAPACITY
+  /// (entries) and TPCOOL_SOLVE_CACHE_FILE (snapshot path) once, at first
+  /// use.
   [[nodiscard]] static const std::shared_ptr<SolveCache>& global();
 
  private:
@@ -91,17 +157,28 @@ class SolveCache {
     SimulationResult result;
   };
 
+  /// Shared record of one in-flight computation.  The computing thread
+  /// publishes the result (or the failure) here; waiters hold their own
+  /// reference and consume from it directly, immune to LRU eviction.
+  struct InFlight {
+    bool ready = false;
+    bool failed = false;
+    SimulationResult result;
+  };
+
   /// Requires lock held: record use of `it` (move to LRU front).
   void touch(std::list<Entry>::iterator it);
   /// Requires lock held: evict least-recently-used entries over capacity.
   void evict_over_capacity();
+  /// Requires lock held: append an entry at the LRU tail (snapshot load).
+  void append_lru(std::string key, SimulationResult result);
 
   mutable std::mutex mutex_;
   std::condition_variable compute_done_;
   std::size_t capacity_;
   std::list<Entry> lru_;  ///< Front = most recently used.
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  std::unordered_set<std::string> in_flight_;  ///< Keys being computed.
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> in_flight_;
   Stats stats_;
 };
 

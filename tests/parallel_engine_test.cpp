@@ -1,20 +1,30 @@
 // Tests for the parallel experiment engine: SolveCache hit/miss/eviction
-// accounting, parallel_map determinism and error propagation, cold-start
-// purity of cached solves, and the headline contract — experiment results
-// bit-identical at 1, 2, and N threads (run_fig6_scenarios and
-// RackCoordinator::plan).
+// accounting (exact at any capacity — the eviction-race regression),
+// snapshot save/load round-trips and rejection of damaged files,
+// parallel_map determinism and error propagation, cold-start purity of
+// cached solves, and the headline contract — experiment results
+// bit-identical at 1, 2, and N threads (run_fig3/run_table1,
+// run_fig6_scenarios, optimize_design, RackCoordinator::plan) and for cold
+// vs snapshot-warmed caches.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "tpcool/core/experiment.hpp"
 #include "tpcool/core/parallel.hpp"
 #include "tpcool/core/rack_coordinator.hpp"
 #include "tpcool/core/solve_cache.hpp"
+#include "tpcool/thermosyphon/design_optimizer.hpp"
 #include "tpcool/util/error.hpp"
 #include "tpcool/util/thread_pool.hpp"
 
@@ -142,6 +152,248 @@ TEST(SolveCacheTest, ConcurrentRequestsForOneKeyComputeOnce) {
   EXPECT_EQ(stats.hits, 7u);
 }
 
+TEST(SolveCacheTest, ExactCountersUnderEvictionPressure) {
+  // Regression for the eviction/waiter recompute race: with capacity 1 and
+  // a thread continuously evicting the shared entry, registered waiters
+  // must still be served from the in-flight record — one compute, two
+  // hits, exactly, no matter when the eviction lands.  Deterministic by
+  // construction, not by timing: the compute body holds the key in flight
+  // until both other tasks are registered waiters (the `waiting` gauge),
+  // and the presser hammers the put/evict path throughout.
+  util::ThreadPool::set_global_thread_count(4);
+  SolveCache cache(1);
+  std::atomic<int> computes{0};
+  std::atomic<bool> stop{false};
+  std::thread presser([&] {
+    int i = 0;
+    while (!stop.load()) {
+      cache.put("evict" + std::to_string(i++), result_with_max(0.0));
+      std::this_thread::sleep_for(std::chrono::microseconds(1));
+    }
+  });
+  const auto results = parallel_map<double>(
+      3, 1, [](std::size_t chunk) { return chunk; },
+      [&](std::size_t&, std::size_t) {
+        return cache
+            .get_or_compute("shared",
+                            [&] {
+                              ++computes;
+                              // stats() locks the cache; the compute runs
+                              // without the lock held, so polling is safe.
+                              while (cache.stats().waiting < 2) {
+                                std::this_thread::yield();
+                              }
+                              return result_with_max(7.0);
+                            })
+            .die.max_c;
+      });
+  stop = true;
+  presser.join();
+  util::ThreadPool::set_global_thread_count(0);
+
+  EXPECT_EQ(computes.load(), 1);
+  for (const double value : results) EXPECT_DOUBLE_EQ(value, 7.0);
+  const SolveCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.waiting, 0u);
+}
+
+// ------------------------------------------------------------- snapshots --
+
+/// A SimulationResult exercising every serialized field, deterministic in
+/// `seed` so bitwise comparisons are meaningful.
+SimulationResult rich_result(int seed) {
+  const double s = static_cast<double>(seed);
+  SimulationResult r;
+  r.die = {60.0 + s, 50.0 + s, 3.5 + s, 4u + static_cast<std::size_t>(seed),
+           100u};
+  r.package = {45.0 + s, 40.0 + s, 0.5 + s, 2u, 100u};
+  r.tcase_c = 55.0 + s;
+  r.total_power_w = 80.0 + s;
+  r.power = {40.0 + s, 5.0 + s, 12.0 + s, 8.0 + s};
+  r.syphon.t_sat_c = 35.0 + s;
+  r.syphon.refrigerant_flow_kg_s = 1e-3 * (1.0 + s);
+  r.syphon.loop_exit_quality = 0.3 + 0.01 * s;
+  r.syphon.water_outlet_c = 32.0 + s;
+  r.syphon.q_total_w = 75.0 + s;
+  r.syphon.htc_map = util::Grid2D<double>(3, 2);
+  r.syphon.fluid_temp_map = util::Grid2D<double>(3, 2);
+  for (std::size_t i = 0; i < r.syphon.htc_map.data().size(); ++i) {
+    r.syphon.htc_map.data()[i] = 5000.0 + s + static_cast<double>(i);
+    r.syphon.fluid_temp_map.data()[i] = 30.0 + s + 0.1 * static_cast<double>(i);
+  }
+  r.syphon.channels = {{0.25 + 0.01 * s, 10.0 + s, false},
+                       {0.9 + 0.001 * s, 2.0 + s, seed % 2 == 1}};
+  r.syphon.any_dryout = seed % 2 == 1;
+  r.die_field_c = util::Grid2D<double>(4, 3);
+  r.package_field_c = util::Grid2D<double>(2, 2);
+  for (std::size_t i = 0; i < r.die_field_c.data().size(); ++i) {
+    r.die_field_c.data()[i] = 60.0 + s + 0.25 * static_cast<double>(i);
+  }
+  for (std::size_t i = 0; i < r.package_field_c.data().size(); ++i) {
+    r.package_field_c.data()[i] = 45.0 + s + 0.5 * static_cast<double>(i);
+  }
+  r.active_cores = {seed, 1, 5};
+  return r;
+}
+
+void expect_results_identical(const SimulationResult& a,
+                              const SimulationResult& b) {
+  EXPECT_EQ(a.die.max_c, b.die.max_c);
+  EXPECT_EQ(a.die.avg_c, b.die.avg_c);
+  EXPECT_EQ(a.die.grad_max_c_per_mm, b.die.grad_max_c_per_mm);
+  EXPECT_EQ(a.die.hotspot_cells, b.die.hotspot_cells);
+  EXPECT_EQ(a.die.cell_count, b.die.cell_count);
+  EXPECT_EQ(a.package.max_c, b.package.max_c);
+  EXPECT_EQ(a.tcase_c, b.tcase_c);
+  EXPECT_EQ(a.total_power_w, b.total_power_w);
+  EXPECT_EQ(a.power.active_cores_w, b.power.active_cores_w);
+  EXPECT_EQ(a.power.idle_cores_w, b.power.idle_cores_w);
+  EXPECT_EQ(a.power.mcio_w, b.power.mcio_w);
+  EXPECT_EQ(a.power.llc_w, b.power.llc_w);
+  EXPECT_EQ(a.syphon.t_sat_c, b.syphon.t_sat_c);
+  EXPECT_EQ(a.syphon.refrigerant_flow_kg_s, b.syphon.refrigerant_flow_kg_s);
+  EXPECT_EQ(a.syphon.loop_exit_quality, b.syphon.loop_exit_quality);
+  EXPECT_EQ(a.syphon.water_outlet_c, b.syphon.water_outlet_c);
+  EXPECT_EQ(a.syphon.q_total_w, b.syphon.q_total_w);
+  EXPECT_EQ(a.syphon.htc_map.data(), b.syphon.htc_map.data());
+  EXPECT_EQ(a.syphon.fluid_temp_map.data(), b.syphon.fluid_temp_map.data());
+  ASSERT_EQ(a.syphon.channels.size(), b.syphon.channels.size());
+  for (std::size_t i = 0; i < a.syphon.channels.size(); ++i) {
+    EXPECT_EQ(a.syphon.channels[i].exit_quality,
+              b.syphon.channels[i].exit_quality);
+    EXPECT_EQ(a.syphon.channels[i].absorbed_w,
+              b.syphon.channels[i].absorbed_w);
+    EXPECT_EQ(a.syphon.channels[i].dried_out,
+              b.syphon.channels[i].dried_out);
+  }
+  EXPECT_EQ(a.syphon.any_dryout, b.syphon.any_dryout);
+  EXPECT_EQ(a.die_field_c.data(), b.die_field_c.data());
+  EXPECT_EQ(a.package_field_c.data(), b.package_field_c.data());
+  EXPECT_EQ(a.active_cores, b.active_cores);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good());
+  return {std::istreambuf_iterator<char>(is),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& blob) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+}
+
+TEST(SolveCacheSnapshotTest, SaveLoadRoundTripIsLossless) {
+  const std::string path = ::testing::TempDir() + "tpcool_snap_roundtrip.bin";
+  SolveCache source(8);
+  source.put("alpha", rich_result(1));
+  source.put("beta", rich_result(2));
+  source.put("gamma", rich_result(3));
+  SimulationResult touched;
+  ASSERT_TRUE(source.try_get("alpha", touched));  // non-trivial LRU order
+  source.save(path);
+
+  SolveCache loaded(8);
+  loaded.load(path);
+  EXPECT_EQ(loaded.content_digest(), source.content_digest());
+  EXPECT_EQ(loaded.stats().size, 3u);
+  for (const auto& [key, seed] :
+       {std::pair<const char*, int>{"alpha", 1}, {"beta", 2}, {"gamma", 3}}) {
+    SimulationResult out;
+    ASSERT_TRUE(loaded.try_get(key, out)) << key;
+    expect_results_identical(out, rich_result(seed));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SolveCacheSnapshotTest, LoadMergesAndRespectsCapacity) {
+  const std::string path = ::testing::TempDir() + "tpcool_snap_merge.bin";
+  SolveCache source(8);
+  source.put("alpha", rich_result(1));
+  source.put("beta", rich_result(2));
+  source.save(path);
+
+  // Existing entries win and stay most-recently-used.
+  SolveCache target(2);
+  target.put("alpha", rich_result(9));
+  target.load(path);
+  SimulationResult out;
+  ASSERT_TRUE(target.try_get("alpha", out));
+  EXPECT_EQ(out.die.max_c, rich_result(9).die.max_c);
+  // Capacity 2 holds "alpha" (existing) + the snapshot's other entry.
+  EXPECT_EQ(target.stats().size, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(SolveCacheSnapshotTest, RejectsMissingTruncatedAndCorruptFiles) {
+  const std::string path = ::testing::TempDir() + "tpcool_snap_damage.bin";
+  SolveCache source(4);
+  source.put("key", rich_result(4));
+  source.save(path);
+  const std::string blob = read_file(path);
+  ASSERT_GT(blob.size(), 40u);
+
+  SolveCache fresh(4);
+  EXPECT_THROW(fresh.load(::testing::TempDir() + "tpcool_no_such_file.bin"),
+               SnapshotError);
+
+  write_file(path, blob.substr(0, blob.size() - 20));  // truncated
+  EXPECT_THROW(fresh.load(path), SnapshotError);
+
+  write_file(path, blob.substr(0, 10));  // shorter than the header
+  EXPECT_THROW(fresh.load(path), SnapshotError);
+
+  std::string corrupt = blob;  // one payload bit flipped, length intact
+  corrupt[blob.size() / 2] = static_cast<char>(corrupt[blob.size() / 2] ^ 1);
+  write_file(path, corrupt);
+  EXPECT_THROW(fresh.load(path), SnapshotError);
+
+  std::string bad_magic = blob;
+  bad_magic[0] = 'X';
+  write_file(path, bad_magic);
+  EXPECT_THROW(fresh.load(path), SnapshotError);
+
+  // Nothing survived any of the bad loads.
+  EXPECT_EQ(fresh.stats().size, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(SolveCacheSnapshotTest, RefusesMismatchedSchemaVersion) {
+  const std::string path = ::testing::TempDir() + "tpcool_snap_version.bin";
+  SolveCache source(4);
+  source.put("key", rich_result(5));
+  source.save(path);
+
+  // Patch the version field (bytes 8..11, little-endian) and re-seal the
+  // trailing stream digest so only the version check can fire.
+  std::string blob = read_file(path);
+  blob[8] = 99;
+  blob[9] = blob[10] = blob[11] = 0;
+  std::uint64_t digest = 1469598103934665603ULL;
+  for (std::size_t i = 0; i + 8 < blob.size(); ++i) {
+    digest ^= static_cast<unsigned char>(blob[i]);
+    digest *= 1099511628211ULL;
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    blob[blob.size() - 8 + i] =
+        static_cast<char>((digest >> (8 * i)) & 0xFF);
+  }
+  write_file(path, blob);
+
+  SolveCache fresh(4);
+  try {
+    fresh.load(path);
+    FAIL() << "expected SnapshotError";
+  } catch (const SnapshotError& error) {
+    EXPECT_NE(std::string(error.what()).find("schema version"),
+              std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
 // ----------------------------------------------------------- parallel_map --
 
 TEST_F(ParallelEngineTest, ParallelMapPreservesTaskOrder) {
@@ -244,6 +496,122 @@ TEST_F(ParallelEngineTest, Fig6BitIdenticalAcrossThreadCounts) {
     util::ThreadPool::set_global_thread_count(threads);
     SolveCache::global()->clear();  // recompute, don't replay stored bits
     expect_rows_identical(serial, run_fig6_scenarios(options), threads);
+  }
+}
+
+TEST_F(ParallelEngineTest, Fig6BitIdenticalColdVsSnapshotWarmedCache) {
+  // A snapshot-warmed run must reproduce a cold run bit for bit, serving
+  // every solve from the loaded entries (0 misses).
+  ExperimentOptions options;
+  options.cell_size_m = kCell;
+  util::ThreadPool::set_global_thread_count(2);
+  SolveCache::global()->clear();
+  const std::vector<Fig6Row> cold = run_fig6_scenarios(options);
+
+  const std::string path = ::testing::TempDir() + "tpcool_fig6_snap.bin";
+  SolveCache::global()->save(path);
+  SolveCache::global()->clear();
+  SolveCache::global()->load(path);
+  const std::vector<Fig6Row> warm = run_fig6_scenarios(options);
+  const SolveCache::Stats stats = SolveCache::global()->stats();
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.hits, 6u);
+  expect_rows_identical(cold, warm, 2);
+  std::remove(path.c_str());
+}
+
+TEST_F(ParallelEngineTest, Fig3BitIdenticalAcrossThreadCounts) {
+  const ExperimentOptions options;  // all 13 benchmarks — no solves, cheap
+  util::ThreadPool::set_global_thread_count(1);
+  const std::vector<Fig3Row> serial = run_fig3(options);
+  ASSERT_EQ(serial.size(), workload::parsec_benchmarks().size());
+
+  for (const std::size_t threads : {2u, 4u}) {
+    util::ThreadPool::set_global_thread_count(threads);
+    const std::vector<Fig3Row> parallel = run_fig3(options);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " row=" +
+                   std::to_string(i));
+      EXPECT_EQ(parallel[i].benchmark, serial[i].benchmark);
+      EXPECT_EQ(parallel[i].normalized_time, serial[i].normalized_time);
+      EXPECT_EQ(parallel[i].meets_2x_at_2_4, serial[i].meets_2x_at_2_4);
+    }
+  }
+}
+
+TEST_F(ParallelEngineTest, Table1BitIdenticalAcrossThreadCounts) {
+  util::ThreadPool::set_global_thread_count(1);
+  const std::vector<Table1Row> serial = run_table1();
+  ASSERT_EQ(serial.size(), power::all_cstates().size());
+
+  for (const std::size_t threads : {2u, 4u}) {
+    util::ThreadPool::set_global_thread_count(threads);
+    const std::vector<Table1Row> parallel = run_table1();
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " row=" +
+                   std::to_string(i));
+      EXPECT_EQ(parallel[i].state, serial[i].state);
+      EXPECT_EQ(parallel[i].latency_us, serial[i].latency_us);
+      EXPECT_EQ(parallel[i].power_all8_w, serial[i].power_all8_w);
+    }
+  }
+}
+
+TEST_F(ParallelEngineTest, DesignOptimizerBitIdenticalAcrossThreadCounts) {
+  // Analytic evaluator (no thermal solves): a pure, reentrant function of
+  // the candidate, so the test isolates the optimizer's own fan-out.
+  const auto make_evaluator = [] {
+    return thermosyphon::DesignEvaluator(
+        [](const thermosyphon::ThermosyphonDesign& design,
+           const thermosyphon::OperatingPoint& op) {
+          thermosyphon::DesignEvaluation eval;
+          const double orientation_penalty =
+              design.evaporator.orientation ==
+                      thermosyphon::Orientation::kEastWest
+                  ? 0.0
+                  : 2.0;
+          eval.die_max_c = 60.0 + orientation_penalty +
+                           20.0 * std::fabs(design.filling_ratio - 0.55) +
+                           0.4 * op.water_inlet_c -
+                           0.2 * op.water_flow_kg_h;
+          eval.die_grad_c_per_mm = 1.0 + design.filling_ratio;
+          eval.tcase_c = eval.die_max_c - 5.0;
+          eval.dryout = false;
+          eval.loop_pressure_pa =
+              design.refrigerant->saturation_pressure_pa(30.0);
+          return eval;
+        });
+  };
+
+  util::ThreadPool::set_global_thread_count(1);
+  const thermosyphon::DesignResult serial = thermosyphon::optimize_design(
+      thermosyphon::DesignSearchSpace{},
+      thermosyphon::DesignEvaluatorFactory(make_evaluator));
+
+  for (const std::size_t threads : {2u, 4u}) {
+    util::ThreadPool::set_global_thread_count(threads);
+    const thermosyphon::DesignResult parallel = thermosyphon::optimize_design(
+        thermosyphon::DesignSearchSpace{},
+        thermosyphon::DesignEvaluatorFactory(make_evaluator));
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(parallel.design.evaporator.orientation,
+              serial.design.evaporator.orientation);
+    EXPECT_EQ(parallel.design.refrigerant, serial.design.refrigerant);
+    EXPECT_EQ(parallel.design.filling_ratio, serial.design.filling_ratio);
+    EXPECT_EQ(parallel.op.water_inlet_c, serial.op.water_inlet_c);
+    EXPECT_EQ(parallel.op.water_flow_kg_h, serial.op.water_flow_kg_h);
+    EXPECT_EQ(parallel.eval.die_max_c, serial.eval.die_max_c);
+    EXPECT_EQ(parallel.eval.tcase_c, serial.eval.tcase_c);
+    ASSERT_EQ(parallel.records.size(), serial.records.size());
+    for (std::size_t i = 0; i < serial.records.size(); ++i) {
+      EXPECT_EQ(parallel.records[i].eval.die_max_c,
+                serial.records[i].eval.die_max_c);
+      EXPECT_EQ(parallel.records[i].feasible, serial.records[i].feasible);
+      EXPECT_EQ(parallel.records[i].op.water_inlet_c,
+                serial.records[i].op.water_inlet_c);
+    }
   }
 }
 
