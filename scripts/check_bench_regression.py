@@ -10,6 +10,9 @@ Both files must carry the same schema, one of:
   - tpcool-experiment-bench-v1  (experiment_scaling --json): per case
     solve_ms + coupled-solve count ("iterations"; cache hits are
     informational)
+  - tpcool-datacenter-bench-v1  (datacenter_scaling --json): per case
+    solve_ms + coupled-solve count ("iterations"; cache hits and
+    pipeline-pool constructions/reuses are informational)
 
 A case regresses when any compared metric exceeds the baseline by more
 than --max-regress (relative).  Iteration/solve/hit counts are
@@ -29,12 +32,15 @@ import argparse
 import json
 import sys
 
-KNOWN_SCHEMAS = ("tpcool-solver-bench-v1", "tpcool-experiment-bench-v1")
+KNOWN_SCHEMAS = ("tpcool-solver-bench-v1", "tpcool-experiment-bench-v1",
+                 "tpcool-datacenter-bench-v1")
 
 # Metrics compared per schema; a metric missing from either file is skipped.
 # "hits" is emitted for information only: a lost cache hit already shows up
 # as extra "iterations" (misses), and gating hits upward would flag
-# legitimate improvements that deduplicate more solves.
+# legitimate improvements that deduplicate more solves.  Pipeline-pool
+# "constructions"/"reuses" (datacenter schema) depend on chunk timing at
+# >1 thread, so they are never gated.
 METRICS = ("solve_ms", "iterations")
 
 

@@ -1,5 +1,7 @@
 #include "tpcool/core/parallel.hpp"
 
+#include "tpcool/core/pipeline_pool.hpp"
+
 namespace tpcool::core {
 
 std::string solve_scope(Approach approach, double cell_size_m) {
@@ -12,16 +14,15 @@ std::string solve_scope(Approach approach, double cell_size_m) {
 
 namespace {
 
-/// Context of one chunk: a pipeline server with the shared cache attached.
-ApproachPipeline make_cached_pipeline(
+/// Context of one chunk: a pooled pipeline with the shared cache attached
+/// (cached solves are cold-start pure, so reuse is bit-identical to fresh
+/// construction).  A cacheless caller gets an unpooled fresh pipeline —
+/// without the purity guarantee, reuse would leak warm-start state.
+PipelinePool::Lease make_cached_pipeline(
     Approach approach, double cell_size_m,
     const std::shared_ptr<SolveCache>& cache) {
-  ApproachPipeline pipeline(approach, cell_size_m);
-  if (cache != nullptr) {
-    pipeline.server().enable_solve_cache(cache,
-                                         solve_scope(approach, cell_size_m));
-  }
-  return pipeline;
+  if (cache == nullptr) return PipelinePool::unpooled(approach, cell_size_m);
+  return PipelinePool::global().checkout(approach, cell_size_m, cache);
 }
 
 }  // namespace
@@ -38,10 +39,10 @@ std::vector<SimulationResult> run_parallel_solves(
       [&](std::size_t) {
         return make_cached_pipeline(approach, cell_size_m, cache);
       },
-      [&](ApproachPipeline& pipeline, std::size_t i) {
+      [&](PipelinePool::Lease& pipeline, std::size_t i) {
         const SolveRequest& request = requests[i];
-        return pipeline.server().simulate(*request.bench, request.config,
-                                          request.cores, request.idle_state);
+        return pipeline->server().simulate(*request.bench, request.config,
+                                           request.cores, request.idle_state);
       });
 }
 
@@ -58,8 +59,8 @@ std::vector<SimulationResult> run_parallel_schedules(
       [&](std::size_t) {
         return make_cached_pipeline(approach, cell_size_m, cache);
       },
-      [&](ApproachPipeline& pipeline, std::size_t i) {
-        return pipeline.scheduler().run(*requests[i].bench, requests[i].qos);
+      [&](PipelinePool::Lease& pipeline, std::size_t i) {
+        return pipeline->scheduler().run(*requests[i].bench, requests[i].qos);
       });
 }
 

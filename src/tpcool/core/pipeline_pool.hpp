@@ -1,0 +1,104 @@
+#pragma once
+/// \file pipeline_pool.hpp
+/// \brief Warm-pipeline checkout for the parallel experiment engine: every
+///        `parallel_map` chunk used to construct a fresh `ApproachPipeline`
+///        (~0.2 ms each), which dominates very wide sweeps whose solves are
+///        all cache hits.  The pool keeps finished pipelines and hands them
+///        back out, so a sweep pays construction once per concurrently
+///        active chunk instead of once per chunk.
+///
+/// Soundness: a reused pipeline carries state from its previous user (the
+/// warm-start temperature field, the operating point).  Checkout therefore
+/// REQUIRES a SolveCache — while a cache is attached, cache-miss solves run
+/// from a cold start (see ServerModel::enable_solve_cache), so every solve
+/// a pooled pipeline produces is a pure function of its key and reuse is
+/// unobservable in the results: pooled and unpooled runs are bit-identical
+/// (asserted in tests/parallel_engine_test.cpp).
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tpcool/core/pipelines.hpp"
+#include "tpcool/core/solve_cache.hpp"
+
+namespace tpcool::core {
+
+/// Thread-safe pool of `ApproachPipeline`s keyed by (approach, cell size).
+class PipelinePool {
+ public:
+  /// Lifetime counters (never reset by clear(): the construction savings a
+  /// bench reports span cache clears).
+  struct Stats {
+    std::size_t constructions = 0;  ///< Pipelines built fresh on checkout.
+    std::size_t reuses = 0;         ///< Checkouts served from the pool.
+    std::size_t idle = 0;           ///< Pipelines parked in the pool now.
+  };
+
+  /// RAII checkout: holds a pipeline, returns it to the pool (if any) on
+  /// destruction.  Movable so it can be a `parallel_map` chunk context.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept = default;
+    Lease& operator=(Lease&& other) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    [[nodiscard]] ApproachPipeline& operator*() const { return *pipeline_; }
+    [[nodiscard]] ApproachPipeline* operator->() const {
+      return pipeline_.get();
+    }
+
+   private:
+    friend class PipelinePool;
+    Lease(PipelinePool* pool, std::string key,
+          std::unique_ptr<ApproachPipeline> pipeline)
+        : pool_(pool), key_(std::move(key)), pipeline_(std::move(pipeline)) {}
+
+    void release();
+
+    PipelinePool* pool_ = nullptr;  ///< Null: plain ownership (unpooled).
+    std::string key_;
+    std::unique_ptr<ApproachPipeline> pipeline_;
+  };
+
+  PipelinePool() = default;
+  PipelinePool(const PipelinePool&) = delete;
+  PipelinePool& operator=(const PipelinePool&) = delete;
+
+  /// Check out a pipeline for (approach, cell_size_m) — reused if one is
+  /// parked, constructed otherwise — with `cache` attached under the
+  /// canonical `solve_scope` key.  `cache` must not be null: only cached
+  /// (cold-start-pure) solves make reuse bit-identical to construction.
+  [[nodiscard]] Lease checkout(Approach approach, double cell_size_m,
+                               const std::shared_ptr<SolveCache>& cache);
+
+  /// A fresh pipeline in a Lease that never returns to any pool; the
+  /// uncached escape hatch for callers that want construction-per-chunk
+  /// semantics (no cache, warm-start chaining intact).
+  [[nodiscard]] static Lease unpooled(Approach approach, double cell_size_m);
+
+  [[nodiscard]] Stats stats() const;
+
+  /// Drop the idle pipelines (counters are kept).  Frees the ~MBs a wide
+  /// sweep parked; the next checkout constructs again.
+  void clear();
+
+  /// Process-wide pool shared by the rack coordinator, the experiment
+  /// runners, and the fleet layer.
+  [[nodiscard]] static PipelinePool& global();
+
+ private:
+  mutable std::mutex mutex_;
+  Stats stats_;
+  std::unordered_map<std::string,
+                     std::vector<std::unique_ptr<ApproachPipeline>>>
+      idle_;
+};
+
+}  // namespace tpcool::core

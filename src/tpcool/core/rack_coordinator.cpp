@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "tpcool/core/parallel.hpp"
+#include "tpcool/core/pipeline_pool.hpp"
 #include "tpcool/core/solve_cache.hpp"
 #include "tpcool/util/error.hpp"
 
@@ -20,14 +21,6 @@ RackCoordinator::RackCoordinator(Config config) : config_(std::move(config)) {
                  "no supply-temperature candidates");
 }
 
-std::unique_ptr<ApproachPipeline> RackCoordinator::make_pipeline() const {
-  auto pipeline = std::make_unique<ApproachPipeline>(config_.approach,
-                                                     config_.cell_size_m);
-  pipeline->server().enable_solve_cache(
-      SolveCache::global(), solve_scope(config_.approach, config_.cell_size_m));
-  return pipeline;
-}
-
 RackPlan RackCoordinator::plan(const std::vector<std::string>& benchmarks) {
   TPCOOL_REQUIRE(!benchmarks.empty(), "rack plan needs at least one server");
   const double design_flow = server_config_for(config_.approach,
@@ -41,8 +34,11 @@ RackPlan RackCoordinator::plan(const std::vector<std::string>& benchmarks) {
   RackPlan plan;
   plan.servers = parallel_map<ServerPlan>(
       benchmarks.size(), kRackGrain,
-      [&](std::size_t) { return make_pipeline(); },
-      [&](std::unique_ptr<ApproachPipeline>& pipeline, std::size_t i) {
+      [&](std::size_t) {
+        return PipelinePool::global().checkout(
+            config_.approach, config_.cell_size_m, SolveCache::global());
+      },
+      [&](PipelinePool::Lease& pipeline, std::size_t i) {
         const std::string& name = benchmarks[i];
         const workload::BenchmarkProfile& bench =
             workload::find_benchmark(name);
@@ -85,8 +81,11 @@ RackPlan RackCoordinator::plan(const std::vector<std::string>& benchmarks) {
   const std::vector<SimulationResult> at_setpoint =
       parallel_map<SimulationResult>(
           plan.servers.size(), kRackGrain,
-          [&](std::size_t) { return make_pipeline(); },
-          [&](std::unique_ptr<ApproachPipeline>& pipeline, std::size_t i) {
+          [&](std::size_t) {
+            return PipelinePool::global().checkout(
+                config_.approach, config_.cell_size_m, SolveCache::global());
+          },
+          [&](PipelinePool::Lease& pipeline, std::size_t i) {
             const ServerPlan& sp = plan.servers[i];
             const workload::BenchmarkProfile& bench =
                 workload::find_benchmark(sp.benchmark);

@@ -47,14 +47,13 @@ class RackCoordinator {
 
   /// Schedule each named benchmark on its own server and solve the shared
   /// cooling loop.  The per-server supply-temperature scans fan out over
-  /// the global thread pool through the shared solve cache; results are
-  /// bit-identical for any thread count (see parallel.hpp).
+  /// the global thread pool through the shared solve cache, on pipelines
+  /// checked out of the global PipelinePool (cached solves are cold-start
+  /// pure, so pooled reuse is bit-identical to fresh construction);
+  /// results are bit-identical for any thread count (see parallel.hpp).
   [[nodiscard]] RackPlan plan(const std::vector<std::string>& benchmarks);
 
  private:
-  /// Fresh per-chunk pipeline with the shared solve cache attached.
-  [[nodiscard]] std::unique_ptr<ApproachPipeline> make_pipeline() const;
-
   Config config_;
 };
 

@@ -2,16 +2,19 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <utility>
 #include <vector>
 
 #include "tpcool/util/error.hpp"
+#include "tpcool/util/logging.hpp"
 
 namespace tpcool::core {
 
@@ -197,6 +200,33 @@ class Cursor {
   std::size_t pos_;
   std::size_t end_;
 };
+
+/// Snapshot-size warning threshold in bytes; TPCOOL_SOLVE_CACHE_WARN_MB
+/// overrides the 64 MB default (fractions allowed, <= 0 disables).  Read
+/// on every save — saves are rare and tests flip the env var between them.
+std::size_t snapshot_warn_bytes() {
+  double warn_mb = 64.0;
+  if (const char* env = std::getenv("TPCOOL_SOLVE_CACHE_WARN_MB")) {
+    char* end = nullptr;
+    const double parsed = std::strtod(env, &end);
+    if (end != env && *end == '\0' && std::isfinite(parsed)) {
+      warn_mb = parsed;
+    } else {
+      std::fprintf(stderr,
+                   "tpcool: ignoring TPCOOL_SOLVE_CACHE_WARN_MB=%s "
+                   "(want a finite number of megabytes)\n",
+                   env);
+    }
+  }
+  if (warn_mb <= 0.0) return 0;  // disabled
+  const double bytes = warn_mb * 1024.0 * 1024.0;
+  // A threshold past size_t can never fire; saturate instead of the UB a
+  // float-to-integer overflow would be.
+  if (bytes >= static_cast<double>(std::numeric_limits<std::size_t>::max())) {
+    return std::numeric_limits<std::size_t>::max();
+  }
+  return static_cast<std::size_t>(bytes);
+}
 
 util::Grid2D<double> parse_grid(Cursor& cursor) {
   const std::uint64_t nx = cursor.u64();
@@ -409,6 +439,19 @@ void SolveCache::save(const std::string& path) const {
     }
   }
   put_u64(blob, fnv1a(blob.data(), blob.size()));
+
+  // Surface fleet-scale snapshot growth before it hurts: the snapshot is
+  // still whole-file (see ROADMAP — sharded/mmap storage is the next step
+  // if this warning starts firing in practice).
+  const std::size_t warn_bytes = snapshot_warn_bytes();
+  if (warn_bytes > 0 && blob.size() > warn_bytes) {
+    util::log_warn() << "solve-cache snapshot " << path << " is "
+                     << blob.size() / (1024.0 * 1024.0)
+                     << " MB (warn threshold "
+                     << warn_bytes / (1024.0 * 1024.0)
+                     << " MB; raise TPCOOL_SOLVE_CACHE_WARN_MB or lower "
+                        "TPCOOL_SOLVE_CACHE_CAPACITY)";
+  }
 
   // Write-temp-then-rename: readers (and a crash mid-write) never observe
   // a partial snapshot.  Concurrent writers to one path can interleave in

@@ -117,7 +117,9 @@ class SolveCache {
   /// versioned binary snapshot.  The write is atomic: a temporary file is
   /// written and then renamed over `path`, so readers never observe a
   /// partial snapshot.  Throws SnapshotError when the file cannot be
-  /// written.
+  /// written.  Snapshots larger than TPCOOL_SOLVE_CACHE_WARN_MB megabytes
+  /// (default 64, <= 0 disables) log a warning through util/logging so
+  /// fleet-scale runs surface growth before the whole-file format hurts.
   void save(const std::string& path) const;
 
   /// Merge the snapshot at `path` into this cache.  Loaded entries join

@@ -1,0 +1,72 @@
+#include "tpcool/datacenter/placement.hpp"
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::datacenter {
+
+void PlacementPolicy::require_open(bool found) {
+  TPCOOL_REQUIRE(found, "placement needs at least one non-full rack");
+}
+
+std::size_t RoundRobinPlacement::select_rack(
+    const JobRequest& job, const std::vector<RackLoad>& racks) const {
+  (void)job;
+  TPCOOL_REQUIRE(!racks.empty(), "placement needs at least one rack");
+  for (std::size_t probe = 0; probe < racks.size(); ++probe) {
+    const std::size_t candidate = (cursor_ + probe) % racks.size();
+    if (!racks[candidate].full()) {
+      cursor_ = candidate + 1;
+      return candidate;
+    }
+  }
+  require_open(false);
+  return 0;  // unreachable
+}
+
+std::size_t LeastPowerPlacement::select_rack(
+    const JobRequest& job, const std::vector<RackLoad>& racks) const {
+  (void)job;
+  return argmin_open_rack(racks, [](const RackLoad& rack) {
+    return rack.est_power_w;
+  });
+}
+
+std::size_t ThermalHeadroomPlacement::select_rack(
+    const JobRequest& job, const std::vector<RackLoad>& racks) const {
+  (void)job;
+  // Most headroom first; break headroom ties by emptiest rack so the
+  // historyless first interval degrades to least-loaded, not rack 0.
+  return argmin_open_rack(racks, [](const RackLoad& rack) {
+    return -rack.headroom_c * 1.0e6 + static_cast<double>(rack.assigned);
+  });
+}
+
+const std::vector<std::string>& placement_policy_names() {
+  static const std::vector<std::string> names{
+      "round-robin", "least-power", "thermal-headroom"};
+  return names;
+}
+
+std::unique_ptr<PlacementPolicy> make_placement_policy(
+    const std::string& name) {
+  if (name == "round-robin") return std::make_unique<RoundRobinPlacement>();
+  if (name == "least-power") return std::make_unique<LeastPowerPlacement>();
+  if (name == "thermal-headroom") {
+    return std::make_unique<ThermalHeadroomPlacement>();
+  }
+  TPCOOL_REQUIRE(false, "unknown placement policy '" + name +
+                            "' (known: round-robin, least-power, "
+                            "thermal-headroom)");
+  return nullptr;  // unreachable
+}
+
+double job_power_estimate(const workload::BenchmarkProfile& bench,
+                          const workload::QoSRequirement& qos) {
+  TPCOOL_REQUIRE(qos.factor >= 1.0, "QoS factor below 1x");
+  // Full-load switching weight, discounted by the QoS slack the scheduler
+  // will trade for lower power.  Units are arbitrary: policies only
+  // compare sums of these across racks.
+  return bench.c_eff_w_per_ghz_v2 * bench.smt_yield / qos.factor;
+}
+
+}  // namespace tpcool::datacenter

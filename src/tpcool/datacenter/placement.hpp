@@ -1,0 +1,139 @@
+#pragma once
+/// \file placement.hpp
+/// \brief Fleet-level job placement: decide which rack runs an arriving
+///        workload phase.  Mirrors the `mapping::MappingPolicy` shape one
+///        level up — stateless, deterministic policies behind a small
+///        registry — but places jobs on racks instead of threads on cores.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tpcool/workload/benchmark.hpp"
+#include "tpcool/workload/configuration.hpp"
+
+namespace tpcool::datacenter {
+
+/// Everything a policy may consult about one candidate rack at dispatch
+/// time.  Estimates and headrooms are deterministic functions of the fleet
+/// state (see FleetModel), never of timing or thread count.
+struct RackLoad {
+  std::size_t rack = 0;          ///< Rack index in the fleet.
+  std::size_t capacity = 0;      ///< Servers (one job per server).
+  std::size_t assigned = 0;      ///< Jobs placed this interval so far.
+  double est_power_w = 0.0;      ///< Sum of placed jobs' power estimates.
+  /// Worst-case thermal headroom [°C] observed on this rack in the
+  /// previous interval (tcase limit minus hottest server tcase at the rack
+  /// setpoint); `kIdleHeadroomC` when the rack was idle or on the first
+  /// interval.
+  double headroom_c = 0.0;
+
+  [[nodiscard]] bool full() const noexcept { return assigned >= capacity; }
+};
+
+/// Headroom reported for a rack with no thermal history yet.
+inline constexpr double kIdleHeadroomC = 1.0e3;
+
+/// One job awaiting placement: a stream's phase active this interval.
+struct JobRequest {
+  std::size_t stream = 0;        ///< Arrival order (input stream index).
+  const workload::BenchmarkProfile* bench = nullptr;
+  workload::QoSRequirement qos{2.0};
+  /// Dispatch-time power proxy (no thermal solve): relative job weight for
+  /// load-balancing policies, not a physical prediction.
+  double est_power_w = 0.0;
+};
+
+/// Abstract placement policy.  `select_rack` must return the index of a
+/// non-full rack and must be deterministic (ties broken by lowest rack
+/// index).  Implementations may keep per-run dispatch state (round-robin
+/// keeps its cursor); FleetModel therefore builds a fresh policy for
+/// every `run`, and a policy instance is neither thread-safe nor meant to
+/// be shared across runs.  Everything about the racks themselves arrives
+/// through `RackLoad`.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Pick a rack for `job`.  `racks` has at least one non-full entry
+  /// (FleetModel throws before asking otherwise).
+  [[nodiscard]] virtual std::size_t select_rack(
+      const JobRequest& job, const std::vector<RackLoad>& racks) const = 0;
+
+ protected:
+  /// Shared argmin scan over non-full racks: smallest `cost(rack)` wins,
+  /// ties to the lowest index.  Throws PreconditionError when every rack
+  /// is full.
+  template <typename Cost>
+  static std::size_t argmin_open_rack(const std::vector<RackLoad>& racks,
+                                      Cost&& cost) {
+    std::size_t best = racks.size();
+    double best_cost = 0.0;
+    for (const RackLoad& rack : racks) {
+      if (rack.full()) continue;
+      const double c = cost(rack);
+      if (best == racks.size() || c < best_cost) {
+        best = rack.rack;
+        best_cost = c;
+      }
+    }
+    require_open(best != racks.size());
+    return best;
+  }
+
+  static void require_open(bool found);
+};
+
+/// Cycle through the racks in index order, skipping full ones.  The cursor
+/// advances once per placed job across the whole run, so successive jobs
+/// land on successive racks.
+class RoundRobinPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+  [[nodiscard]] std::size_t select_rack(
+      const JobRequest& job, const std::vector<RackLoad>& racks) const override;
+
+ private:
+  mutable std::size_t cursor_ = 0;
+};
+
+/// Place on the rack with the lowest accumulated estimated power this
+/// interval (a classic least-loaded dispatcher on the power proxy).
+class LeastPowerPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "least-power"; }
+  [[nodiscard]] std::size_t select_rack(
+      const JobRequest& job, const std::vector<RackLoad>& racks) const override;
+};
+
+/// Place on the rack with the most thermal headroom left over from the
+/// previous interval; ties (e.g. the all-idle first interval) fall back to
+/// fewest assigned jobs, then lowest index.
+class ThermalHeadroomPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "thermal-headroom";
+  }
+  [[nodiscard]] std::size_t select_rack(
+      const JobRequest& job, const std::vector<RackLoad>& racks) const override;
+};
+
+/// Registry (the `mapping::` policy-registry shape): the policy names the
+/// fleet config and the datacenter bench accept.
+[[nodiscard]] const std::vector<std::string>& placement_policy_names();
+
+/// Build a policy by registry name; throws PreconditionError when unknown.
+[[nodiscard]] std::unique_ptr<PlacementPolicy> make_placement_policy(
+    const std::string& name);
+
+/// The dispatch-time power proxy used for `JobRequest::est_power_w`: the
+/// benchmark's full-load switching weight discounted by QoS slack.  Cheap,
+/// deterministic, and monotone in how hot the job will run — sufficient
+/// for load balancing; the real power comes out of the coupled solve.
+[[nodiscard]] double job_power_estimate(const workload::BenchmarkProfile& bench,
+                                        const workload::QoSRequirement& qos);
+
+}  // namespace tpcool::datacenter

@@ -1,0 +1,342 @@
+// Tests for the datacenter fleet layer: placement-policy units and the
+// registry, FleetModel validation and metrics accounting, bit-identity of
+// fleet sweeps at 1/2/4 threads and for cold vs snapshot-warmed caches,
+// and the propagation of TCASE-limit violations into the fleet QoS
+// counters (the steady-state analogue of TraceResult::tcase_limit_exceeded).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tpcool/core/pipeline_pool.hpp"
+#include "tpcool/core/solve_cache.hpp"
+#include "tpcool/core/trace_runner.hpp"
+#include "tpcool/datacenter/fleet.hpp"
+#include "tpcool/datacenter/placement.hpp"
+#include "tpcool/util/error.hpp"
+#include "tpcool/util/thread_pool.hpp"
+
+namespace tpcool::datacenter {
+namespace {
+
+// Coarse grid: these tests assert dispatch and determinism, not physics.
+constexpr double kCell = 2.0e-3;
+
+class DatacenterTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    util::ThreadPool::set_global_thread_count(0);
+    core::SolveCache::global()->clear();
+    core::PipelinePool::global().clear();
+  }
+};
+
+// ------------------------------------------------------ placement policies --
+
+std::vector<RackLoad> three_racks() {
+  return {{0, 2, 0, 0.0, kIdleHeadroomC},
+          {1, 2, 0, 0.0, kIdleHeadroomC},
+          {2, 2, 0, 0.0, kIdleHeadroomC}};
+}
+
+JobRequest any_job() {
+  JobRequest job;
+  job.bench = &workload::find_benchmark("x264");
+  job.qos = workload::QoSRequirement{2.0};
+  job.est_power_w = job_power_estimate(*job.bench, job.qos);
+  return job;
+}
+
+TEST(PlacementRegistry, NamesRoundTripThroughFactory) {
+  ASSERT_EQ(placement_policy_names().size(), 3u);
+  for (const std::string& name : placement_policy_names()) {
+    const std::unique_ptr<PlacementPolicy> policy =
+        make_placement_policy(name);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_EQ(policy->name(), name);
+  }
+  EXPECT_THROW((void)make_placement_policy("random"),
+               util::PreconditionError);
+}
+
+TEST(PlacementPolicy, RoundRobinCyclesAndSkipsFullRacks) {
+  RoundRobinPlacement policy;
+  std::vector<RackLoad> racks = three_racks();
+  const JobRequest job = any_job();
+  EXPECT_EQ(policy.select_rack(job, racks), 0u);
+  EXPECT_EQ(policy.select_rack(job, racks), 1u);
+  EXPECT_EQ(policy.select_rack(job, racks), 2u);
+  EXPECT_EQ(policy.select_rack(job, racks), 0u);  // wraps
+  racks[1].assigned = racks[1].capacity;          // rack 1 now full
+  EXPECT_EQ(policy.select_rack(job, racks), 2u);  // 1 skipped
+  racks[0].assigned = racks[0].capacity;
+  racks[2].assigned = racks[2].capacity;
+  EXPECT_THROW((void)policy.select_rack(job, racks),
+               util::PreconditionError);  // everything full
+}
+
+TEST(PlacementPolicy, LeastPowerPicksLightestOpenRack) {
+  LeastPowerPlacement policy;
+  std::vector<RackLoad> racks = three_racks();
+  racks[0].est_power_w = 30.0;
+  racks[1].est_power_w = 10.0;
+  racks[2].est_power_w = 20.0;
+  const JobRequest job = any_job();
+  EXPECT_EQ(policy.select_rack(job, racks), 1u);
+  racks[1].assigned = racks[1].capacity;  // lightest is full
+  EXPECT_EQ(policy.select_rack(job, racks), 2u);
+  racks[2].est_power_w = 30.0;  // tie with rack 0: lowest index wins
+  EXPECT_EQ(policy.select_rack(job, racks), 0u);
+}
+
+TEST(PlacementPolicy, ThermalHeadroomPrefersCoolestThenEmptiest) {
+  ThermalHeadroomPlacement policy;
+  std::vector<RackLoad> racks = three_racks();
+  racks[0].headroom_c = 5.0;
+  racks[1].headroom_c = 20.0;
+  racks[2].headroom_c = 12.0;
+  const JobRequest job = any_job();
+  EXPECT_EQ(policy.select_rack(job, racks), 1u);
+  // Equal headroom (the historyless first interval): fewest assigned wins.
+  racks[0].headroom_c = racks[1].headroom_c = racks[2].headroom_c = 10.0;
+  racks[0].assigned = 1;
+  racks[1].assigned = 1;
+  EXPECT_EQ(policy.select_rack(job, racks), 2u);
+}
+
+TEST(PlacementPolicy, JobPowerEstimateTracksQoSSlack) {
+  const workload::BenchmarkProfile& bench = workload::find_benchmark("x264");
+  // Tighter QoS leaves less power slack, so the estimate is larger.
+  EXPECT_GT(job_power_estimate(bench, {1.0}), job_power_estimate(bench, {3.0}));
+  EXPECT_THROW((void)job_power_estimate(bench, {0.5}),
+               util::PreconditionError);
+}
+
+// ------------------------------------------------------------- FleetModel --
+
+FleetConfig two_rack_fleet() {
+  FleetConfig config = make_heterogeneous_fleet(2, 2, kCell);
+  return config;
+}
+
+TEST_F(DatacenterTest, ValidatesConfigAndStreams) {
+  EXPECT_THROW(FleetModel(FleetConfig{}), util::PreconditionError);
+  FleetConfig bad_policy = two_rack_fleet();
+  bad_policy.placement = "no-such-policy";
+  EXPECT_THROW(FleetModel(std::move(bad_policy)), util::PreconditionError);
+  FleetConfig no_servers = two_rack_fleet();
+  no_servers.racks[0].servers = 0;
+  EXPECT_THROW(FleetModel(std::move(no_servers)), util::PreconditionError);
+
+  FleetModel fleet(two_rack_fleet());
+  EXPECT_EQ(fleet.total_capacity(), 4u);
+  EXPECT_THROW((void)fleet.run({}), util::PreconditionError);
+
+  // 5 streams against 4 servers: over capacity, reported not deadlocked.
+  const workload::WorkloadTrace trace({{"x264", {2.0}, 1.0}});
+  EXPECT_THROW((void)fleet.run({trace, trace, trace, trace, trace}),
+               util::PreconditionError);
+}
+
+TEST_F(DatacenterTest, SinglePhaseStreamMakesOneConsistentInterval) {
+  FleetModel fleet(two_rack_fleet());
+  const workload::WorkloadTrace trace({{"x264", {2.0}, 5.0}});
+  const FleetResult result = fleet.run({trace});
+
+  ASSERT_EQ(result.intervals.size(), 1u);
+  const FleetInterval& iv = result.intervals[0];
+  EXPECT_DOUBLE_EQ(iv.start_s, 0.0);
+  EXPECT_DOUBLE_EQ(iv.duration_s, 5.0);
+  ASSERT_EQ(iv.jobs.size(), 1u);
+  EXPECT_EQ(iv.jobs[0].stream, 0u);
+  EXPECT_EQ(iv.jobs[0].benchmark, "x264");
+  EXPECT_EQ(iv.jobs[0].rack, 0u);  // round-robin starts at rack 0
+  EXPECT_GT(iv.jobs[0].package_power_w, 0.0);
+  EXPECT_GT(iv.jobs[0].max_supply_temp_c, 0.0);
+  EXPECT_FALSE(iv.jobs[0].tcase_limit_exceeded);
+  EXPECT_EQ(iv.qos_violations, 0u);
+
+  // The loaded rack reports the §V shared-loop state; the idle rack is
+  // zeroed and keeps the idle headroom.
+  EXPECT_EQ(iv.racks[0].jobs, 1u);
+  EXPECT_DOUBLE_EQ(iv.racks[0].cooling.supply_temp_c,
+                   iv.jobs[0].max_supply_temp_c);
+  EXPECT_LT(iv.racks[0].headroom_c, kIdleHeadroomC);
+  EXPECT_EQ(iv.racks[1].jobs, 0u);
+  EXPECT_DOUBLE_EQ(iv.racks[1].cooling.supply_temp_c, 0.0);
+  EXPECT_DOUBLE_EQ(iv.racks[1].headroom_c, kIdleHeadroomC);
+
+  // Energy and PUE accounting close over the single interval.
+  EXPECT_DOUBLE_EQ(result.duration_s, 5.0);
+  EXPECT_DOUBLE_EQ(result.total_it_energy_j, iv.it_power_w * 5.0);
+  EXPECT_DOUBLE_EQ(result.total_chiller_energy_j, iv.chiller_power_w * 5.0);
+  EXPECT_GT(result.total_facility_energy_j, result.total_it_energy_j);
+  EXPECT_DOUBLE_EQ(result.avg_pue, iv.pue);
+  EXPECT_GT(result.avg_pue, 1.0);   // chiller + distribution overhead
+  EXPECT_LT(result.avg_pue, 1.4);   // far below the air-cooled 1.4-1.65
+}
+
+TEST_F(DatacenterTest, IntervalsAreTheUnionOfPhaseBoundaries) {
+  FleetModel fleet(two_rack_fleet());
+  const workload::WorkloadTrace a({{"x264", {2.0}, 4.0},
+                                   {"canneal", {3.0}, 4.0}});
+  const workload::WorkloadTrace b({{"swaptions", {2.0}, 2.0},
+                                   {"vips", {2.0}, 4.0}});
+  const FleetResult result = fleet.run({a, b});
+
+  // Boundaries {0, 2, 4, 6, 8}: stream b ends at 6, stream a at 8.
+  ASSERT_EQ(result.intervals.size(), 4u);
+  EXPECT_DOUBLE_EQ(result.intervals[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(result.intervals[1].start_s, 2.0);
+  EXPECT_DOUBLE_EQ(result.intervals[2].start_s, 4.0);
+  EXPECT_DOUBLE_EQ(result.intervals[3].start_s, 6.0);
+  EXPECT_EQ(result.intervals[0].jobs.size(), 2u);
+  EXPECT_EQ(result.intervals[2].jobs.size(), 2u);
+  // Stream b is done after t=6: only stream a's last phase remains.
+  ASSERT_EQ(result.intervals[3].jobs.size(), 1u);
+  EXPECT_EQ(result.intervals[3].jobs[0].stream, 0u);
+  EXPECT_EQ(result.intervals[3].jobs[0].benchmark, "canneal");
+}
+
+TEST_F(DatacenterTest, DispatchFollowsThePlacementPolicy) {
+  // 4 identical single-phase streams over 2 racks x 2 servers.
+  const workload::WorkloadTrace trace({{"x264", {2.0}, 2.0}});
+  const std::vector<workload::WorkloadTrace> streams{trace, trace, trace,
+                                                     trace};
+  FleetConfig config = two_rack_fleet();
+  config.placement = "round-robin";
+  const FleetResult rr = FleetModel(config).run(streams);
+  ASSERT_EQ(rr.intervals[0].jobs.size(), 4u);
+  EXPECT_EQ(rr.intervals[0].jobs[0].rack, 0u);
+  EXPECT_EQ(rr.intervals[0].jobs[1].rack, 1u);
+  EXPECT_EQ(rr.intervals[0].jobs[2].rack, 0u);
+  EXPECT_EQ(rr.intervals[0].jobs[3].rack, 1u);
+
+  // Least-power balances identical jobs the same way (alternating racks).
+  config.placement = "least-power";
+  const FleetResult lp = FleetModel(config).run(streams);
+  EXPECT_EQ(lp.intervals[0].jobs[0].rack, 0u);
+  EXPECT_EQ(lp.intervals[0].jobs[1].rack, 1u);
+  EXPECT_EQ(lp.intervals[0].racks[0].jobs, 2u);
+  EXPECT_EQ(lp.intervals[0].racks[1].jobs, 2u);
+}
+
+// --------------------------------------------- determinism & persistence --
+
+void expect_fleet_identical(const FleetResult& a, const FleetResult& b) {
+  EXPECT_EQ(fleet_digest(a), fleet_digest(b));
+  ASSERT_EQ(a.intervals.size(), b.intervals.size());
+  for (std::size_t i = 0; i < a.intervals.size(); ++i) {
+    SCOPED_TRACE("interval=" + std::to_string(i));
+    // Bitwise, not near: the engine's contract is exactness.
+    EXPECT_EQ(a.intervals[i].it_power_w, b.intervals[i].it_power_w);
+    EXPECT_EQ(a.intervals[i].chiller_power_w, b.intervals[i].chiller_power_w);
+    EXPECT_EQ(a.intervals[i].pue, b.intervals[i].pue);
+    EXPECT_EQ(a.intervals[i].qos_violations, b.intervals[i].qos_violations);
+    ASSERT_EQ(a.intervals[i].jobs.size(), b.intervals[i].jobs.size());
+    for (std::size_t j = 0; j < a.intervals[i].jobs.size(); ++j) {
+      EXPECT_EQ(a.intervals[i].jobs[j].rack, b.intervals[i].jobs[j].rack);
+      EXPECT_EQ(a.intervals[i].jobs[j].die_max_c,
+                b.intervals[i].jobs[j].die_max_c);
+      EXPECT_EQ(a.intervals[i].jobs[j].tcase_c,
+                b.intervals[i].jobs[j].tcase_c);
+      EXPECT_EQ(a.intervals[i].jobs[j].max_supply_temp_c,
+                b.intervals[i].jobs[j].max_supply_temp_c);
+    }
+  }
+  EXPECT_EQ(a.total_it_energy_j, b.total_it_energy_j);
+  EXPECT_EQ(a.avg_pue, b.avg_pue);
+  EXPECT_EQ(a.qos_violations, b.qos_violations);
+}
+
+std::vector<workload::WorkloadTrace> mixed_streams() {
+  return {workload::make_daily_trace(2.0), workload::make_stress_trace(3.0),
+          workload::make_daily_trace(1.5)};
+}
+
+TEST_F(DatacenterTest, FleetBitIdenticalAcrossThreadCounts) {
+  FleetConfig config = two_rack_fleet();
+  config.placement = "thermal-headroom";
+
+  util::ThreadPool::set_global_thread_count(1);
+  core::SolveCache::global()->clear();
+  const FleetResult serial = FleetModel(config).run(mixed_streams());
+
+  for (const std::size_t threads : {2u, 4u}) {
+    util::ThreadPool::set_global_thread_count(threads);
+    core::SolveCache::global()->clear();  // recompute, don't replay bits
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_fleet_identical(serial, FleetModel(config).run(mixed_streams()));
+  }
+}
+
+TEST_F(DatacenterTest, FleetBitIdenticalColdVsSnapshotWarmedCache) {
+  // A snapshot-warmed fleet sweep must reproduce the cold one bit for bit,
+  // serving every solve from the loaded entries (0 misses).
+  FleetConfig config = two_rack_fleet();
+  util::ThreadPool::set_global_thread_count(2);
+  core::SolveCache::global()->clear();
+  const FleetResult cold = FleetModel(config).run(mixed_streams());
+
+  const std::string path = ::testing::TempDir() + "tpcool_fleet_snap.bin";
+  core::SolveCache::global()->save(path);
+  core::SolveCache::global()->clear();
+  core::SolveCache::global()->load(path);
+  const FleetResult warm = FleetModel(config).run(mixed_streams());
+  const core::SolveCache::Stats stats = core::SolveCache::global()->stats();
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_GT(stats.hits, 0u);
+  expect_fleet_identical(cold, warm);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------- QoS-violation plumbing --
+
+TEST_F(DatacenterTest, TcaseLimitExceededPropagatesIntoQoSViolations) {
+  // A limit below any reachable case temperature: the transient runner
+  // flags the trace, and the same condition surfaces in the fleet as
+  // per-job tcase_limit_exceeded and a nonzero QoS-violation count.
+  constexpr double kImpossibleLimitC = 30.0;
+  const workload::WorkloadTrace hot({{"x264", {1.0}, 2.0}});
+
+  core::ApproachPipeline pipeline(core::Approach::kProposed, kCell);
+  core::TraceRunner runner(pipeline.server(), pipeline.scheduler(),
+                           {.control_period_s = 1.0,
+                            .tcase_limit_c = kImpossibleLimitC,
+                            .start_temperature_c = 35.0});
+  const core::TraceResult transient = runner.run(hot);
+  ASSERT_TRUE(transient.tcase_limit_exceeded);
+
+  FleetConfig config = two_rack_fleet();
+  for (RackSpec& rack : config.racks) rack.tcase_limit_c = kImpossibleLimitC;
+  const FleetResult fleet = FleetModel(config).run({hot});
+  ASSERT_EQ(fleet.intervals.size(), 1u);
+  ASSERT_EQ(fleet.intervals[0].jobs.size(), 1u);
+  EXPECT_TRUE(fleet.intervals[0].jobs[0].tcase_limit_exceeded);
+  // The infeasible server pins to the coldest supply candidate.
+  EXPECT_DOUBLE_EQ(fleet.intervals[0].jobs[0].max_supply_temp_c,
+                   config.racks[0].supply_candidates_c.back());
+  EXPECT_EQ(fleet.intervals[0].qos_violations, 1u);
+  EXPECT_EQ(fleet.qos_violations, 1u);
+  // Headroom goes negative: the placement policy will steer away.
+  EXPECT_LT(fleet.intervals[0].racks[0].headroom_c, 0.0);
+}
+
+TEST_F(DatacenterTest, FeasibleFleetReportsNoViolations) {
+  FleetModel fleet(two_rack_fleet());  // default 85 C limit
+  const FleetResult result = fleet.run(mixed_streams());
+  EXPECT_EQ(result.qos_violations, 0u);
+  for (const FleetInterval& iv : result.intervals) {
+    for (const JobOutcome& job : iv.jobs) {
+      EXPECT_FALSE(job.tcase_limit_exceeded);
+      EXPECT_LE(job.tcase_c, 85.0);
+      EXPECT_GE(job.die_max_c, job.tcase_c);  // die is always hotter
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tpcool::datacenter

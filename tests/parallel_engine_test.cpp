@@ -1,11 +1,12 @@
 // Tests for the parallel experiment engine: SolveCache hit/miss/eviction
 // accounting (exact at any capacity — the eviction-race regression),
-// snapshot save/load round-trips and rejection of damaged files,
+// snapshot save/load round-trips, rejection of damaged files and the
+// snapshot size-warning guard, PipelinePool checkout/reuse semantics,
 // parallel_map determinism and error propagation, cold-start purity of
 // cached solves, and the headline contract — experiment results
 // bit-identical at 1, 2, and N threads (run_fig3/run_table1,
-// run_fig6_scenarios, optimize_design, RackCoordinator::plan) and for cold
-// vs snapshot-warmed caches.
+// run_fig6_scenarios, optimize_design, RackCoordinator::plan), for cold
+// vs snapshot-warmed caches, and for pooled vs unpooled pipelines.
 
 #include <gtest/gtest.h>
 
@@ -14,6 +15,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <stdexcept>
 #include <string>
@@ -22,6 +24,7 @@
 
 #include "tpcool/core/experiment.hpp"
 #include "tpcool/core/parallel.hpp"
+#include "tpcool/core/pipeline_pool.hpp"
 #include "tpcool/core/rack_coordinator.hpp"
 #include "tpcool/core/solve_cache.hpp"
 #include "tpcool/thermosyphon/design_optimizer.hpp"
@@ -41,6 +44,7 @@ class ParallelEngineTest : public ::testing::Test {
   void TearDown() override {
     util::ThreadPool::set_global_thread_count(0);
     SolveCache::global()->clear();
+    PipelinePool::global().clear();  // no parked state between tests
   }
 };
 
@@ -361,6 +365,37 @@ TEST(SolveCacheSnapshotTest, RejectsMissingTruncatedAndCorruptFiles) {
   std::remove(path.c_str());
 }
 
+TEST(SolveCacheSnapshotTest, WarnsWhenSnapshotExceedsSizeThreshold) {
+  // Fleet-scale growth guard: saves over TPCOOL_SOLVE_CACHE_WARN_MB
+  // megabytes log a warning (default 64 MB; <= 0 disables).  A snapshot of
+  // three rich results is a few KB, so a fractional threshold trips it.
+  const std::string path = ::testing::TempDir() + "tpcool_snap_warn.bin";
+  SolveCache source(8);
+  source.put("alpha", rich_result(1));
+  source.put("beta", rich_result(2));
+  source.put("gamma", rich_result(3));
+
+  ASSERT_EQ(setenv("TPCOOL_SOLVE_CACHE_WARN_MB", "0.001", 1), 0);
+  ::testing::internal::CaptureStderr();
+  source.save(path);
+  const std::string warned = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(warned.find("solve-cache snapshot"), std::string::npos) << warned;
+  EXPECT_NE(warned.find("WARN"), std::string::npos) << warned;
+
+  // Disabled (<= 0): the same oversized save stays quiet.
+  ASSERT_EQ(setenv("TPCOOL_SOLVE_CACHE_WARN_MB", "0", 1), 0);
+  ::testing::internal::CaptureStderr();
+  source.save(path);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+
+  // The default 64 MB threshold never fires for a few-KB snapshot.
+  ASSERT_EQ(unsetenv("TPCOOL_SOLVE_CACHE_WARN_MB"), 0);
+  ::testing::internal::CaptureStderr();
+  source.save(path);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+  std::remove(path.c_str());
+}
+
 TEST(SolveCacheSnapshotTest, RefusesMismatchedSchemaVersion) {
   const std::string path = ::testing::TempDir() + "tpcool_snap_version.bin";
   SolveCache source(4);
@@ -612,6 +647,177 @@ TEST_F(ParallelEngineTest, DesignOptimizerBitIdenticalAcrossThreadCounts) {
       EXPECT_EQ(parallel.records[i].op.water_inlet_c,
                 serial.records[i].op.water_inlet_c);
     }
+  }
+}
+
+// ------------------------------------------------------------ PipelinePool --
+
+TEST_F(ParallelEngineTest, PipelinePoolChecksOutConstructsAndReuses) {
+  PipelinePool pool;
+  // Purity requirement: pooled reuse is only bit-identical with a cache.
+  EXPECT_THROW((void)pool.checkout(Approach::kProposed, kCell, nullptr),
+               util::PreconditionError);
+
+  const auto cache = std::make_shared<SolveCache>();
+  {
+    const PipelinePool::Lease lease =
+        pool.checkout(Approach::kProposed, kCell, cache);
+    EXPECT_EQ(lease->approach(), Approach::kProposed);
+    EXPECT_TRUE(lease->server().solve_cache_enabled());
+    const PipelinePool::Stats stats = pool.stats();
+    EXPECT_EQ(stats.constructions, 1u);
+    EXPECT_EQ(stats.reuses, 0u);
+    EXPECT_EQ(stats.idle, 0u);  // checked out, not parked
+  }
+  EXPECT_EQ(pool.stats().idle, 1u);  // lease returned its pipeline
+
+  {
+    const PipelinePool::Lease lease =
+        pool.checkout(Approach::kProposed, kCell, cache);
+    EXPECT_EQ(pool.stats().reuses, 1u);
+    EXPECT_EQ(pool.stats().constructions, 1u);
+    // A different (approach, cell size) key never shares pipelines.
+    const PipelinePool::Lease other =
+        pool.checkout(Approach::kSoaBalancing, kCell, cache);
+    EXPECT_EQ(other->approach(), Approach::kSoaBalancing);
+    EXPECT_EQ(pool.stats().constructions, 2u);
+  }
+
+  // A previous user's operating point must not leak through a reuse: the
+  // solve call sites that simulate "at the constructed default" (fig6,
+  // the oracle sweeps) would otherwise inherit a rack scan's last water
+  // temperature, timing-dependently.
+  const thermosyphon::OperatingPoint default_op =
+      server_config_for(Approach::kProposed, kCell).operating_point;
+  {
+    PipelinePool::Lease lease =
+        pool.checkout(Approach::kProposed, kCell, cache);
+    lease->server().set_operating_point(
+        {.water_flow_kg_h = 1.0, .water_inlet_c = 15.0});
+  }
+  {
+    const PipelinePool::Lease lease =
+        pool.checkout(Approach::kProposed, kCell, cache);
+    EXPECT_EQ(lease->server().operating_point().water_flow_kg_h,
+              default_op.water_flow_kg_h);
+    EXPECT_EQ(lease->server().operating_point().water_inlet_c,
+              default_op.water_inlet_c);
+  }
+
+  pool.clear();  // drops the idle pipelines, keeps the counters
+  EXPECT_EQ(pool.stats().idle, 0u);
+  EXPECT_EQ(pool.stats().constructions, 2u);
+  EXPECT_EQ(pool.stats().reuses, 3u);
+
+  // An unpooled lease owns its pipeline outright and parks nowhere.
+  {
+    const PipelinePool::Lease lease =
+        PipelinePool::unpooled(Approach::kProposed, kCell);
+    EXPECT_FALSE(lease->server().solve_cache_enabled());
+  }
+  EXPECT_EQ(pool.stats().idle, 0u);
+}
+
+TEST_F(ParallelEngineTest, RackPlanReusesPooledPipelines) {
+  // The satellite claim: pooling measurably cuts per-chunk constructions.
+  // Single-threaded chunks run in order and return their lease before the
+  // next chunk begins, so the counters are exact: one construction serves
+  // all 6 checkouts (two parallel phases x 3 servers) of the first plan,
+  // and the second plan constructs nothing at all.
+  util::ThreadPool::set_global_thread_count(1);
+  SolveCache::global()->clear();
+  PipelinePool::global().clear();
+  RackCoordinator::Config config;
+  config.cell_size_m = kCell;
+  const std::vector<std::string> racks{"x264", "canneal", "swaptions"};
+
+  const PipelinePool::Stats before = PipelinePool::global().stats();
+  (void)RackCoordinator(config).plan(racks);
+  const PipelinePool::Stats mid = PipelinePool::global().stats();
+  EXPECT_EQ(mid.constructions - before.constructions, 1u);
+  EXPECT_EQ(mid.reuses - before.reuses, 5u);
+
+  (void)RackCoordinator(config).plan(racks);
+  const PipelinePool::Stats after = PipelinePool::global().stats();
+  EXPECT_EQ(after.constructions, mid.constructions);
+  EXPECT_EQ(after.reuses - mid.reuses, 6u);
+}
+
+TEST_F(ParallelEngineTest, RackPlanPooledBitIdenticalToUnpooled) {
+  // The coordinator now runs exclusively on pooled pipelines; this is the
+  // reference it must match: a fresh pipeline and a fresh private cache
+  // per server (every solve cold and pure), serial, no pool anywhere.
+  RackCoordinator::Config config;
+  config.cell_size_m = kCell;
+  const std::vector<std::string> racks{"x264", "canneal", "swaptions"};
+  const double design_flow =
+      server_config_for(config.approach, config.cell_size_m)
+          .operating_point.water_flow_kg_h;
+
+  RackPlan unpooled;
+  for (const std::string& name : racks) {
+    ApproachPipeline pipeline(config.approach, config.cell_size_m);
+    pipeline.server().enable_solve_cache(
+        std::make_shared<SolveCache>(),
+        solve_scope(config.approach, config.cell_size_m));
+    const workload::BenchmarkProfile& bench = workload::find_benchmark(name);
+    ServerPlan sp;
+    sp.benchmark = name;
+    sp.decision = pipeline.scheduler().schedule(bench, config.qos);
+    for (const double t_w : config.supply_candidates_c) {
+      pipeline.server().set_operating_point(
+          {.water_flow_kg_h = design_flow, .water_inlet_c = t_w});
+      const SimulationResult sim = pipeline.server().simulate(
+          bench, sp.decision.point.config, sp.decision.cores,
+          sp.decision.idle_state);
+      if (sim.tcase_c <= config.tcase_limit_c) {
+        sp.max_supply_temp_c = t_w;
+        sp.package_power_w = sim.total_power_w;
+        break;
+      }
+    }
+    unpooled.servers.push_back(std::move(sp));
+  }
+  std::vector<cooling::ServerDemand> demands;
+  for (const ServerPlan& sp : unpooled.servers) {
+    demands.push_back({sp.package_power_w, sp.max_supply_temp_c, design_flow});
+  }
+  unpooled.cooling = cooling::solve_rack_cooling(demands, config.chiller);
+  for (ServerPlan& sp : unpooled.servers) {
+    ApproachPipeline pipeline(config.approach, config.cell_size_m);
+    pipeline.server().enable_solve_cache(
+        std::make_shared<SolveCache>(),
+        solve_scope(config.approach, config.cell_size_m));
+    pipeline.server().set_operating_point(
+        {.water_flow_kg_h = design_flow,
+         .water_inlet_c = unpooled.cooling.supply_temp_c});
+    sp.die_max_c = pipeline.server()
+                       .simulate(workload::find_benchmark(sp.benchmark),
+                                 sp.decision.point.config, sp.decision.cores,
+                                 sp.decision.idle_state)
+                       .die.max_c;
+  }
+
+  for (const std::size_t threads : {1u, 4u}) {
+    util::ThreadPool::set_global_thread_count(threads);
+    SolveCache::global()->clear();
+    const RackPlan pooled = RackCoordinator(config).plan(racks);
+    ASSERT_EQ(pooled.servers.size(), unpooled.servers.size());
+    for (std::size_t i = 0; i < unpooled.servers.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " server=" +
+                   std::to_string(i));
+      EXPECT_EQ(pooled.servers[i].benchmark, unpooled.servers[i].benchmark);
+      // Bitwise: pooled reuse must be unobservable in the results.
+      EXPECT_EQ(pooled.servers[i].max_supply_temp_c,
+                unpooled.servers[i].max_supply_temp_c);
+      EXPECT_EQ(pooled.servers[i].package_power_w,
+                unpooled.servers[i].package_power_w);
+      EXPECT_EQ(pooled.servers[i].die_max_c, unpooled.servers[i].die_max_c);
+    }
+    EXPECT_EQ(pooled.cooling.supply_temp_c, unpooled.cooling.supply_temp_c);
+    EXPECT_EQ(pooled.cooling.return_temp_c, unpooled.cooling.return_temp_c);
+    EXPECT_EQ(pooled.cooling.chiller_electrical_w,
+              unpooled.cooling.chiller_electrical_w);
   }
 }
 

@@ -110,6 +110,49 @@ TEST_F(TraceRunnerTest, ThermalStateCarriesAcrossPhases) {
             result.phases[1].end_tcase_c + 0.2);
 }
 
+// Edge cases feeding the datacenter fleet layer (which consumes the same
+// WorkloadTrace streams): the empty trace is unconstructible, a
+// single-phase trace runs end to end, and a phase that cannot hold the
+// TCASE limit raises tcase_limit_exceeded (tests/datacenter_test.cpp
+// verifies the same condition lands in the fleet QoS-violation counts).
+
+TEST_F(TraceRunnerTest, EmptyTraceIsUnconstructible) {
+  // There is no empty-trace run: validation rejects it before any runner
+  // (or the fleet layer) can see one.
+  EXPECT_THROW(workload::WorkloadTrace({}), util::PreconditionError);
+}
+
+TEST_F(TraceRunnerTest, SinglePhaseTraceRunsOneConsistentRecord) {
+  core::TraceRunner runner(pipeline_.server(), pipeline_.scheduler(),
+                           {.control_period_s = 1.0});
+  const workload::WorkloadTrace trace({{"x264", {2.0}, 3.0}});
+  const core::TraceResult result = runner.run(trace);
+  ASSERT_EQ(result.phases.size(), 1u);
+  const core::PhaseRecord& r = result.phases[0];
+  EXPECT_EQ(r.phase_index, 0u);
+  EXPECT_EQ(r.benchmark, "x264");
+  EXPECT_DOUBLE_EQ(r.qos_factor, 2.0);
+  EXPECT_GT(r.peak_tcase_c, 0.0);
+  EXPECT_GE(r.peak_tcase_c, r.end_tcase_c);
+  EXPECT_GE(r.peak_die_c, r.peak_tcase_c);
+  EXPECT_FALSE(result.tcase_limit_exceeded);
+  // Trace totals degenerate to the single phase.
+  EXPECT_DOUBLE_EQ(result.peak_tcase_c, r.peak_tcase_c);
+  EXPECT_DOUBLE_EQ(result.total_energy_j, r.energy_j);
+}
+
+TEST_F(TraceRunnerTest, FlagsPhaseExceedingTcaseLimit) {
+  // A limit below the start temperature is exceeded from the first step.
+  core::TraceRunner runner(pipeline_.server(), pipeline_.scheduler(),
+                           {.control_period_s = 1.0,
+                            .tcase_limit_c = 30.0,
+                            .start_temperature_c = 35.0});
+  const core::TraceResult result =
+      runner.run(workload::WorkloadTrace({{"x264", {1.0}, 2.0}}));
+  EXPECT_TRUE(result.tcase_limit_exceeded);
+  EXPECT_GT(result.peak_tcase_c, 30.0);
+}
+
 TEST_F(TraceRunnerTest, EnergyAccumulatesOverPhases) {
   core::TraceRunner runner(pipeline_.server(), pipeline_.scheduler(), {});
   const core::TraceResult result =
