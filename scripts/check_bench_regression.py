@@ -13,6 +13,10 @@ Both files must carry the same schema, one of:
   - tpcool-datacenter-bench-v1  (datacenter_scaling --json): per case
     solve_ms + coupled-solve count ("iterations"; cache hits and
     pipeline-pool constructions/reuses are informational)
+  - tpcool-transient-bench-v1   (transient_scaling --json): per case
+    solve_ms + coupled-solve count ("iterations") + accepted transient
+    step count ("steps"; cache hits and rejected retries are
+    informational)
 
 A case regresses when any compared metric exceeds the baseline by more
 than --max-regress (relative).  Iteration/solve/hit counts are
@@ -33,15 +37,18 @@ import json
 import sys
 
 KNOWN_SCHEMAS = ("tpcool-solver-bench-v1", "tpcool-experiment-bench-v1",
-                 "tpcool-datacenter-bench-v1")
+                 "tpcool-datacenter-bench-v1", "tpcool-transient-bench-v1")
 
 # Metrics compared per schema; a metric missing from either file is skipped.
 # "hits" is emitted for information only: a lost cache hit already shows up
 # as extra "iterations" (misses), and gating hits upward would flag
 # legitimate improvements that deduplicate more solves.  Pipeline-pool
 # "constructions"/"reuses" (datacenter schema) depend on chunk timing at
-# >1 thread, so they are never gated.
-METRICS = ("solve_ms", "iterations")
+# >1 thread, so they are never gated.  "steps" (transient schema) is the
+# accepted transient step count — deterministic for any thread count, so a
+# controller regression that doubles the stepping shows up even on noisy
+# runners; "rejected" retries are informational.
+METRICS = ("solve_ms", "iterations", "steps")
 
 
 def load_doc(path):

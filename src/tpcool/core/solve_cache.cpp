@@ -124,6 +124,15 @@ std::string serialize_result(const SimulationResult& r) {
   for (const int core : r.active_cores) {
     put_u64(out, std::bit_cast<std::uint64_t>(static_cast<std::int64_t>(core)));
   }
+  // v2: transient-segment payload.  Steady results serialize an empty end
+  // state and zero counters — a few dozen bytes of overhead per entry.
+  put_u64(out, r.transient.end_state_c.size());
+  for (const double value : r.transient.end_state_c) put_f64(out, value);
+  put_f64(out, r.transient.peak_tcase_c);
+  put_f64(out, r.transient.peak_die_c);
+  put_f64(out, r.transient.sim_time_s);
+  put_u64(out, r.transient.steps);
+  put_u64(out, r.transient.rejected_steps);
   return out;
 }
 
@@ -290,6 +299,18 @@ SimulationResult parse_result(Cursor& cursor) {
   for (int& core : r.active_cores) {
     core = static_cast<int>(std::bit_cast<std::int64_t>(cursor.u64()));
   }
+  const std::size_t state_count = cursor.length("transient end state");
+  if (state_count > cursor.remaining() / 8) {
+    throw SnapshotError(
+        "truncated solve-cache snapshot: transient state exceeds the file");
+  }
+  r.transient.end_state_c.resize(state_count);
+  for (double& value : r.transient.end_state_c) value = cursor.f64();
+  r.transient.peak_tcase_c = cursor.f64();
+  r.transient.peak_die_c = cursor.f64();
+  r.transient.sim_time_s = cursor.f64();
+  r.transient.steps = cursor.u64();
+  r.transient.rejected_steps = cursor.u64();
   return r;
 }
 
@@ -708,6 +729,53 @@ std::string solve_request_key(const workload::BenchmarkProfile& bench,
   }
   key.push_back(';');
   key += std::to_string(static_cast<int>(idle_state));
+  return key;
+}
+
+std::string segment_request_key(const std::string& scope,
+                                const workload::BenchmarkProfile& bench,
+                                const workload::Configuration& config,
+                                const std::vector<int>& cores,
+                                power::CState idle_state,
+                                const thermosyphon::OperatingPoint& op,
+                                double duration_s,
+                                const thermal::StepControlConfig& step_control,
+                                double fixed_dt_s,
+                                const std::vector<double>& initial_field_c) {
+  // 128-bit initial-field digest: two FNV-1a streams over the exact cell
+  // bit patterns, differing only in seed.  A single 64-bit stream invites
+  // birthday collisions at fleet scale; two independent seeds push the
+  // collision probability below any practical run length while keeping the
+  // key a fixed, small size.
+  std::uint64_t lo = kFnvOffset;
+  std::uint64_t hi = kFnvOffset ^ 0x9e3779b97f4a7c15ULL;
+  for (const double value : initial_field_c) {
+    const auto bits = std::bit_cast<std::uint64_t>(value);
+    for (int shift = 0; shift < 64; shift += 8) {
+      const auto byte = static_cast<unsigned char>((bits >> shift) & 0xFF);
+      lo = (lo ^ byte) * kFnvPrime;
+      hi = (hi ^ byte) * kFnvPrime;
+    }
+  }
+  std::string key = "segment;";
+  key += scope;
+  key.push_back(';');
+  key += solve_request_key(bench, config, cores, idle_state);
+  key.push_back(';');
+  append_key_bits(key, op.water_flow_kg_h);
+  append_key_bits(key, op.water_inlet_c);
+  append_key_bits(key, duration_s);
+  append_key_bits(key, step_control.tolerance_c);
+  append_key_bits(key, step_control.min_dt_s);
+  append_key_bits(key, step_control.max_dt_s);
+  append_key_bits(key, step_control.initial_dt_s);
+  append_key_bits(key, step_control.max_growth);
+  append_key_bits(key, step_control.safety);
+  append_key_bits(key, fixed_dt_s);
+  key += std::to_string(initial_field_c.size());
+  key.push_back(';');
+  append_key_bits(key, std::bit_cast<double>(lo));
+  append_key_bits(key, std::bit_cast<double>(hi));
   return key;
 }
 

@@ -1,7 +1,6 @@
 #include "tpcool/core/trace_runner.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "tpcool/util/error.hpp"
 
@@ -46,10 +45,13 @@ TraceResult TraceRunner::run(const workload::WorkloadTrace& trace) {
         server_->floorplan(), server_->power_model().unit_powers(req),
         stack.grid, stack.die_offset_x, stack.die_offset_y));
 
-    const int steps = std::max(
-        1, static_cast<int>(std::ceil(phase.duration_s /
-                                      config_.control_period_s)));
-    for (int step = 0; step < steps; ++step) {
+    // Step to the phase boundary, never past it: the final step is clamped
+    // to the phase remainder, so simulated time equals trace time (a 1.1 s
+    // phase at a 0.5 s period integrates 0.5 + 0.5 + 0.1, not 1.5 s) and
+    // the thermal state covers the same window as energy_j.
+    while (record.sim_time_s < phase.duration_s) {
+      const double remaining_s = phase.duration_s - record.sim_time_s;
+      const double dt_s = std::min(config_.control_period_s, remaining_s);
       const thermosyphon::ThermosyphonState syphon =
           server_->thermosyphon_model().solve(evap_heat,
                                               server_->operating_point());
@@ -57,7 +59,11 @@ TraceResult TraceRunner::run(const workload::WorkloadTrace& trace) {
       top.htc_w_m2k = syphon.htc_map;
       top.fluid_temp_c = syphon.fluid_temp_map;
       thermal.set_top_boundary(std::move(top));
-      thermal.step_transient(t, config_.control_period_s);
+      thermal.step_transient(t, dt_s);
+      // Landing on the boundary is exact by assignment, not accumulation.
+      record.sim_time_s =
+          dt_s == remaining_s ? phase.duration_s : record.sim_time_s + dt_s;
+      ++record.steps;
       evap_heat = thermal.top_heat_flow_map_w(t);
       for (double& q : evap_heat.data()) {
         if (q < 0.0) q = 0.0;

@@ -23,6 +23,11 @@ struct PhaseRecord {
   double end_tcase_c = 0.0;    ///< At the phase boundary.
   double avg_power_w = 0.0;
   double energy_j = 0.0;       ///< Package energy over the phase.
+  /// Simulated time actually integrated over the phase.  Equals the phase
+  /// duration exactly: the final step is clamped to the phase remainder, so
+  /// the thermal state and `energy_j` cover the same window.
+  double sim_time_s = 0.0;
+  std::size_t steps = 0;       ///< Transient steps taken over the phase.
 };
 
 /// Full trace outcome.

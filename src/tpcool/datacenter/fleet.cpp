@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <memory>
 #include <utility>
 
@@ -63,21 +64,7 @@ FleetResult FleetModel::run(
     const std::vector<workload::WorkloadTrace>& streams) {
   TPCOOL_REQUIRE(!streams.empty(), "fleet run needs at least one stream");
 
-  // The fleet timeline: the union of every stream's phase boundaries.
-  // Boundaries are the streams' own cumulative sums, so "is this stream
-  // still active at b" compares doubles that came from the same additions
-  // — exact, machine-independent arithmetic.
-  std::vector<double> boundaries{0.0};
-  for (const workload::WorkloadTrace& stream : streams) {
-    double end = 0.0;
-    for (const workload::TracePhase& phase : stream.phases()) {
-      end += phase.duration_s;
-      boundaries.push_back(end);
-    }
-  }
-  std::sort(boundaries.begin(), boundaries.end());
-  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
-                   boundaries.end());
+  const std::vector<double> boundaries = fleet_interval_boundaries(streams);
 
   const std::unique_ptr<PlacementPolicy> policy =
       make_placement_policy(config_.placement);
@@ -264,6 +251,46 @@ FleetResult FleetModel::run(
                 "fleet ran no work (all streams empty?)");
   result.avg_pue = result.total_facility_energy_j / result.total_it_energy_j;
   return result;
+}
+
+std::vector<double> fleet_interval_boundaries(
+    const std::vector<workload::WorkloadTrace>& streams) {
+  // Boundaries are the streams' own cumulative sums, so "is this stream
+  // still active at b" compares doubles that came from the same additions
+  // — exact, machine-independent arithmetic *within* a stream.  Across
+  // streams, sums of nominally equal durations can disagree by ULPs
+  // (0.1 + 0.2 != 0.3); exact dedupe would keep both variants and emit a
+  // sliver interval between them.
+  std::vector<double> boundaries{0.0};
+  for (const workload::WorkloadTrace& stream : streams) {
+    double end = 0.0;
+    for (const workload::TracePhase& phase : stream.phases()) {
+      end += phase.duration_s;
+      boundaries.push_back(end);
+    }
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+
+  // Collapse each epsilon-cluster to its LARGEST member.  Keeping the max
+  // means a stream whose own cumulative sum is the smaller variant tests
+  // `start >= total_duration` as finished (no resurrection for a sliver),
+  // and a stream whose sum is the larger variant sees its exact own value,
+  // so phase_at lands in the correct phase either way.
+  constexpr double kRelEps = 1.0e-12;
+  std::vector<double> deduped;
+  deduped.reserve(boundaries.size());
+  for (const double b : boundaries) {
+    if (!deduped.empty()) {
+      const double prev = deduped.back();
+      const double scale = std::max({1.0, std::abs(prev), std::abs(b)});
+      if (b - prev <= kRelEps * scale) {
+        deduped.back() = b;  // same cluster: keep the larger variant
+        continue;
+      }
+    }
+    deduped.push_back(b);
+  }
+  return deduped;
 }
 
 std::uint64_t fleet_digest(const FleetResult& result) {

@@ -131,6 +131,17 @@ class FleetModel {
   FleetConfig config_;
 };
 
+/// The fleet timeline: the sorted union of every stream's phase-boundary
+/// cumulative sums (starting at 0), deduplicated with a relative epsilon.
+/// Per-stream sums of nominally equal durations can differ by ULPs
+/// (0.1 + 0.2 != 0.3), which `std::unique`'s exact comparison would keep
+/// as sliver intervals; clusters within ~1e-12 relative collapse to their
+/// largest member, so a stream whose own boundary is the smaller variant
+/// is already finished (not resurrected for a sliver) and `phase_at` at
+/// the representative lands in the correct phase for every stream.
+[[nodiscard]] std::vector<double> fleet_interval_boundaries(
+    const std::vector<workload::WorkloadTrace>& streams);
+
 /// Order-sensitive FNV-1a digest over every numeric field of the result
 /// (exact double bit patterns).  Equal digests certify bit-identical fleet
 /// outcomes — the datacenter bench compares runs across thread counts with

@@ -9,7 +9,7 @@ void PlacementPolicy::require_open(bool found) {
 }
 
 std::size_t RoundRobinPlacement::select_rack(
-    const JobRequest& job, const std::vector<RackLoad>& racks) const {
+    const JobRequest& job, const std::vector<RackLoad>& racks) {
   (void)job;
   TPCOOL_REQUIRE(!racks.empty(), "placement needs at least one rack");
   for (std::size_t probe = 0; probe < racks.size(); ++probe) {
@@ -24,7 +24,7 @@ std::size_t RoundRobinPlacement::select_rack(
 }
 
 std::size_t LeastPowerPlacement::select_rack(
-    const JobRequest& job, const std::vector<RackLoad>& racks) const {
+    const JobRequest& job, const std::vector<RackLoad>& racks) {
   (void)job;
   return argmin_open_rack(racks, [](const RackLoad& rack) {
     return rack.est_power_w;
@@ -32,13 +32,24 @@ std::size_t LeastPowerPlacement::select_rack(
 }
 
 std::size_t ThermalHeadroomPlacement::select_rack(
-    const JobRequest& job, const std::vector<RackLoad>& racks) const {
+    const JobRequest& job, const std::vector<RackLoad>& racks) {
   (void)job;
   // Most headroom first; break headroom ties by emptiest rack so the
-  // historyless first interval degrades to least-loaded, not rack 0.
-  return argmin_open_rack(racks, [](const RackLoad& rack) {
-    return -rack.headroom_c * 1.0e6 + static_cast<double>(rack.assigned);
-  });
+  // historyless first interval degrades to least-loaded, not rack 0; then
+  // lowest index.  Truly lexicographic — a weighted sum like
+  // -headroom * 1e6 + assigned flips the priority once two racks'
+  // headrooms differ by less than assigned / 1e6.
+  const RackLoad* best = nullptr;
+  for (const RackLoad& rack : racks) {
+    if (rack.full()) continue;
+    if (best == nullptr || rack.headroom_c > best->headroom_c ||
+        (rack.headroom_c == best->headroom_c &&
+         rack.assigned < best->assigned)) {
+      best = &rack;
+    }
+  }
+  require_open(best != nullptr);
+  return best->rack;
 }
 
 const std::vector<std::string>& placement_policy_names() {

@@ -47,10 +47,16 @@ struct JobRequest {
 
 /// Abstract placement policy.  `select_rack` must return the index of a
 /// non-full rack and must be deterministic (ties broken by lowest rack
-/// index).  Implementations may keep per-run dispatch state (round-robin
-/// keeps its cursor); FleetModel therefore builds a fresh policy for
-/// every `run`, and a policy instance is neither thread-safe nor meant to
-/// be shared across runs.  Everything about the racks themselves arrives
+/// index).
+///
+/// Statefulness and thread safety: `select_rack` is deliberately
+/// NON-const — placement is a dispatch sequence, and implementations may
+/// carry per-run state from one call to the next (round-robin advances a
+/// cursor).  A policy instance is therefore single-run and single-thread:
+/// FleetModel builds a fresh policy for every `run` and dispatches
+/// serially in stream order, and concurrent fleets must each own their
+/// own instance — sharing one across runs or threads would leak dispatch
+/// history between them.  Everything about the racks themselves arrives
 /// through `RackLoad`.
 class PlacementPolicy {
  public:
@@ -59,9 +65,10 @@ class PlacementPolicy {
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Pick a rack for `job`.  `racks` has at least one non-full entry
-  /// (FleetModel throws before asking otherwise).
+  /// (FleetModel throws before asking otherwise).  Non-const: may advance
+  /// per-run dispatch state (see the class doc).
   [[nodiscard]] virtual std::size_t select_rack(
-      const JobRequest& job, const std::vector<RackLoad>& racks) const = 0;
+      const JobRequest& job, const std::vector<RackLoad>& racks) = 0;
 
  protected:
   /// Shared argmin scan over non-full racks: smallest `cost(rack)` wins,
@@ -94,10 +101,10 @@ class RoundRobinPlacement final : public PlacementPolicy {
  public:
   [[nodiscard]] std::string name() const override { return "round-robin"; }
   [[nodiscard]] std::size_t select_rack(
-      const JobRequest& job, const std::vector<RackLoad>& racks) const override;
+      const JobRequest& job, const std::vector<RackLoad>& racks) override;
 
  private:
-  mutable std::size_t cursor_ = 0;
+  std::size_t cursor_ = 0;  ///< Per-run dispatch state (see base doc).
 };
 
 /// Place on the rack with the lowest accumulated estimated power this
@@ -106,19 +113,22 @@ class LeastPowerPlacement final : public PlacementPolicy {
  public:
   [[nodiscard]] std::string name() const override { return "least-power"; }
   [[nodiscard]] std::size_t select_rack(
-      const JobRequest& job, const std::vector<RackLoad>& racks) const override;
+      const JobRequest& job, const std::vector<RackLoad>& racks) override;
 };
 
 /// Place on the rack with the most thermal headroom left over from the
-/// previous interval; ties (e.g. the all-idle first interval) fall back to
-/// fewest assigned jobs, then lowest index.
+/// previous interval; ties fall back to fewest assigned jobs, then lowest
+/// index.  The order is truly lexicographic: ANY headroom difference
+/// outranks the assignment count (no weighted-sum encoding, which would
+/// invert the priority once headroom differences shrink below the
+/// weight's resolution).
 class ThermalHeadroomPlacement final : public PlacementPolicy {
  public:
   [[nodiscard]] std::string name() const override {
     return "thermal-headroom";
   }
   [[nodiscard]] std::size_t select_rack(
-      const JobRequest& job, const std::vector<RackLoad>& racks) const override;
+      const JobRequest& job, const std::vector<RackLoad>& racks) override;
 };
 
 /// Registry (the `mapping::` policy-registry shape): the policy names the

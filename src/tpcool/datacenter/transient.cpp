@@ -1,0 +1,351 @@
+#include "tpcool/datacenter/transient.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "tpcool/core/parallel.hpp"
+#include "tpcool/core/pipeline_pool.hpp"
+#include "tpcool/core/solve_cache.hpp"
+#include "tpcool/floorplan/power_map.hpp"
+#include "tpcool/thermal/metrics.hpp"
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::datacenter {
+
+namespace {
+
+/// One segment per chunk, like the steady fleet: every (job, interval)
+/// integrates independently.
+constexpr std::size_t kSegmentGrain = 1;
+
+/// Inner thermosyphon-coupling iterations per adaptive trial step (the
+/// transient analogue of ServerModel::coupled_solve's fixed point).  A
+/// boundary lagged one whole step behind sustains a discrete limit cycle
+/// on high-power segments — the boiling HTC's strong heat-flux feedback
+/// re-excites the package's fast surface mode at every commit, which puts
+/// a dt-independent floor under the step-doubling error estimate and
+/// locks the controller at millisecond steps.  Converging the boundary
+/// against the trial's end state breaks the cycle; iteration stops early
+/// once successive trial fields agree to a tenth of the step tolerance.
+constexpr int kCouplingIterations = 8;
+
+/// Under-relaxation factor for the evaporator heat-map update inside the
+/// coupling loop.  At high heat flux the boiling HTC's feedback loop has
+/// gain above one, so plain substitution oscillates between two boundary
+/// states instead of converging; averaging successive heat maps halves
+/// the effective gain and makes the iteration contract.
+constexpr double kCouplingRelaxation = 0.5;
+
+double max_abs_diff(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double max = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max = std::max(max, std::abs(a[i] - b[i]));
+  }
+  return max;
+}
+
+/// Everything one segment integration needs, resolved serially before the
+/// fan-out so the parallel closure touches no shared mutable state.
+struct SegmentTask {
+  const JobOutcome* job = nullptr;
+  const workload::BenchmarkProfile* bench = nullptr;
+  thermosyphon::OperatingPoint op;
+  double duration_s = 0.0;
+  std::vector<double> initial_field_c;  ///< Stream state entering the interval.
+  std::string cache_key;
+};
+
+void fnv_u64(std::uint64_t& digest, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    digest ^= (value >> shift) & 0xFF;
+    digest *= 1099511628211ULL;
+  }
+}
+
+void fnv_f64(std::uint64_t& digest, double value) {
+  fnv_u64(digest, std::bit_cast<std::uint64_t>(value));
+}
+
+/// Integrate one transient segment on a leased pipeline.  A pure function
+/// of (pipeline config, task, engine config): the boundary and power map
+/// are rebuilt from the task, the state starts at the task's initial
+/// field, and every numeric step is the same fixed-order double arithmetic
+/// on any thread — which is what makes the cached value sound.
+core::SimulationResult integrate_segment(core::ApproachPipeline& pipeline,
+                                         const SegmentTask& task,
+                                         const TransientEngineConfig& config) {
+  core::ServerModel& server = pipeline.server();
+  server.set_operating_point(task.op);
+  thermal::ThermalModel& thermal = server.thermal();
+  const thermal::StackModel& stack = thermal.stack();
+  const floorplan::Rect package_region{0.0, 0.0, stack.grid.width(),
+                                       stack.grid.height()};
+
+  // The phase's power map, constant over the segment (same rasterization
+  // as the steady solve and the TraceRunner).
+  power::PackagePowerRequest req = server.profiler().request_for(
+      *task.bench, task.job->decision.point.config,
+      task.job->decision.idle_state);
+  req.active_cores = task.job->decision.cores;
+  const power::PackagePowerBreakdown breakdown =
+      server.power_model().breakdown(req);
+  thermal.set_power_map(floorplan::rasterize_power(
+      server.floorplan(), server.power_model().unit_powers(req), stack.grid,
+      stack.die_offset_x, stack.die_offset_y));
+
+  std::vector<double> t = task.initial_field_c;
+  TPCOOL_REQUIRE(t.size() == thermal.cell_count(),
+                 "segment initial field does not match the thermal grid");
+
+  const auto set_boundary = [&](const util::Grid2D<double>& heat) {
+    const thermosyphon::ThermosyphonState syphon =
+        server.thermosyphon_model().solve(heat, task.op);
+    thermal::TopBoundary top;
+    top.htc_w_m2k = syphon.htc_map;
+    top.fluid_temp_c = syphon.fluid_temp_map;
+    thermal.set_top_boundary(std::move(top));
+  };
+  // Per-cell evaporator heat extracted from a field (clamp the handful of
+  // fringe cells that can run slightly negative at low loads).
+  const auto clamped_top_heat = [&](const std::vector<double>& field) {
+    util::Grid2D<double> heat = thermal.top_heat_flow_map_w(field);
+    for (double& q : heat.data()) {
+      if (q < 0.0) q = 0.0;
+    }
+    return heat;
+  };
+
+  // Seed the thermosyphon coupling from the initial field itself: a
+  // zero-heat syphon solve gives a boundary, whose heat extraction over
+  // the field is the first evaporator map — derived, not carried in, so
+  // the segment stays a pure function of its key.
+  util::Grid2D<double> evap_heat(stack.grid.nx, stack.grid.ny, 0.0);
+  set_boundary(evap_heat);
+  evap_heat = clamped_top_heat(t);
+
+  core::SimulationResult result;
+  result.power = breakdown;
+  result.total_power_w = breakdown.total_w();
+  result.active_cores = task.job->decision.cores;
+  core::TransientSegmentInfo& seg = result.transient;
+  thermal::StepController controller(config.step_control);
+
+  while (seg.sim_time_s < task.duration_s) {
+    const double remaining_s = task.duration_s - seg.sim_time_s;
+    double dt_s = 0.0;
+    if (config.fixed_dt_s > 0.0) {
+      // Fixed-period baseline: TraceRunner-style stepping — the boundary
+      // lags one step behind — with the final step clamped to the
+      // remainder.
+      set_boundary(evap_heat);
+      dt_s = std::min(config.fixed_dt_s, remaining_s);
+      thermal.step_transient(t, dt_s);
+      evap_heat = clamped_top_heat(t);
+    } else {
+      // Adaptive: shrink the proposal until the embedded estimate passes.
+      // Each trial converges the boundary against its own end state (see
+      // kCouplingIterations) so the estimate measures the segment's real
+      // dynamics, not boundary-lag noise.
+      while (true) {
+        dt_s = controller.propose(remaining_s);
+        std::vector<double> trial;
+        std::vector<double> prev_trial;
+        util::Grid2D<double> trial_heat = evap_heat;
+        double error_c = 0.0;
+        for (int k = 0; k < kCouplingIterations; ++k) {
+          set_boundary(trial_heat);
+          trial = t;
+          error_c = thermal.step_transient_embedded(trial, dt_s);
+          const util::Grid2D<double> next_heat = clamped_top_heat(trial);
+          for (std::size_t i = 0; i < trial_heat.data().size(); ++i) {
+            trial_heat.data()[i] += kCouplingRelaxation *
+                                    (next_heat.data()[i] -
+                                     trial_heat.data()[i]);
+          }
+          if (!prev_trial.empty() &&
+              max_abs_diff(trial, prev_trial) <=
+                  0.1 * config.step_control.tolerance_c) {
+            break;
+          }
+          prev_trial = trial;
+        }
+        if (controller.evaluate(dt_s, error_c)) {
+          t = std::move(trial);
+          evap_heat = std::move(trial_heat);
+          break;
+        }
+        ++seg.rejected_steps;
+      }
+    }
+    // Landing on the boundary is exact by assignment, not accumulation.
+    seg.sim_time_s =
+        dt_s == remaining_s ? task.duration_s : seg.sim_time_s + dt_s;
+    ++seg.steps;
+
+    const util::Grid2D<double> ihs = thermal.layer_field(t, stack.ihs_layer);
+    const util::Grid2D<double> die = thermal.layer_field(t, stack.die_layer);
+    const double tcase =
+        thermal::case_temperature(ihs, stack.grid, package_region);
+    seg.peak_tcase_c = std::max(seg.peak_tcase_c, tcase);
+    seg.peak_die_c = std::max(
+        seg.peak_die_c,
+        thermal::compute_metrics(die, stack.grid, stack.die_region).max_c);
+    result.tcase_c = tcase;
+  }
+  TPCOOL_ENSURE(seg.sim_time_s == task.duration_s,
+                "transient segment must land exactly on its boundary");
+  seg.end_state_c = std::move(t);
+  return result;
+}
+
+}  // namespace
+
+TransientFleetEngine::TransientFleetEngine(FleetConfig fleet,
+                                           TransientEngineConfig config)
+    : fleet_(std::move(fleet)), config_(config) {
+  TPCOOL_REQUIRE(config_.fixed_dt_s >= 0.0,
+                 "fixed dt must be zero (adaptive) or positive");
+  // Validate the controller tuning at construction, not mid-fan-out.
+  (void)thermal::StepController(config_.step_control);
+}
+
+TransientFleetResult TransientFleetEngine::run(
+    const std::vector<workload::WorkloadTrace>& streams) {
+  TransientFleetResult result;
+  result.steady = fleet_.run(streams);
+  result.duration_s = result.steady.duration_s;
+
+  const FleetConfig& config = fleet_.config();
+  const std::shared_ptr<core::SolveCache>& cache = core::SolveCache::global();
+
+  // Per-rack constants: design water flow, cache scope, and grid size (for
+  // sizing fresh stream states), resolved once, serially.
+  std::vector<double> design_flow_kg_h(config.racks.size());
+  std::vector<std::string> scope(config.racks.size());
+  std::vector<std::size_t> cell_count(config.racks.size());
+  for (std::size_t r = 0; r < config.racks.size(); ++r) {
+    const RackSpec& spec = config.racks[r];
+    design_flow_kg_h[r] =
+        core::server_config_for(spec.approach, spec.cell_size_m)
+            .operating_point.water_flow_kg_h;
+    scope[r] = core::solve_scope(spec.approach, spec.cell_size_m);
+    const core::PipelinePool::Lease lease = core::PipelinePool::global()
+        .checkout(spec.approach, spec.cell_size_m, cache);
+    cell_count[r] = lease->server().thermal().cell_count();
+  }
+
+  // Thermal state follows the stream across intervals (the history a
+  // migrating job's server accumulates — a modeling choice; see the header
+  // doc).  A rack move that changes the grid resets to the start
+  // temperature.
+  std::unordered_map<std::size_t, std::vector<double>> stream_state;
+
+  for (const FleetInterval& interval : result.steady.intervals) {
+    std::vector<SegmentTask> tasks;
+    tasks.reserve(interval.jobs.size());
+    for (const JobOutcome& job : interval.jobs) {
+      const std::size_t r = job.rack;
+      SegmentTask task;
+      task.job = &job;
+      task.bench = &workload::find_benchmark(job.benchmark);
+      task.op = {.water_flow_kg_h = design_flow_kg_h[r],
+                 .water_inlet_c = interval.racks[r].cooling.supply_temp_c};
+      task.duration_s = interval.duration_s;
+      const auto carried = stream_state.find(job.stream);
+      if (carried != stream_state.end() &&
+          carried->second.size() == cell_count[r]) {
+        task.initial_field_c = carried->second;
+      } else {
+        task.initial_field_c.assign(cell_count[r],
+                                    config_.start_temperature_c);
+      }
+      task.cache_key = core::segment_request_key(
+          scope[r], *task.bench, job.decision.point.config,
+          job.decision.cores, job.decision.idle_state, task.op,
+          task.duration_s, config_.step_control, config_.fixed_dt_s,
+          task.initial_field_c);
+      tasks.push_back(std::move(task));
+    }
+
+    // Fan the interval's segments out on pooled pipelines, memoized under
+    // the segment key: a warm rerun replays every segment from the cache.
+    const std::vector<core::SimulationResult> segments =
+        core::parallel_map<core::SimulationResult>(
+            tasks.size(), kSegmentGrain,
+            [&](std::size_t chunk) {
+              const RackSpec& spec = config.racks[tasks[chunk].job->rack];
+              return core::PipelinePool::global().checkout(
+                  spec.approach, spec.cell_size_m, cache);
+            },
+            [&](core::PipelinePool::Lease& pipeline, std::size_t j) {
+              return cache->get_or_compute(tasks[j].cache_key, [&] {
+                return integrate_segment(*pipeline, tasks[j], config_);
+              });
+            });
+
+    // Serial rollup + state chaining, in stream order.
+    TransientInterval out;
+    out.interval = interval.interval;
+    out.start_s = interval.start_s;
+    out.duration_s = interval.duration_s;
+    out.jobs.reserve(tasks.size());
+    for (std::size_t j = 0; j < tasks.size(); ++j) {
+      const JobOutcome& job = *tasks[j].job;
+      const core::TransientSegmentInfo& seg = segments[j].transient;
+      TPCOOL_ENSURE(seg.sim_time_s == interval.duration_s,
+                    "transient segment drifted off the interval boundary");
+      TransientJobOutcome outcome;
+      outcome.stream = job.stream;
+      outcome.rack = job.rack;
+      outcome.benchmark = job.benchmark;
+      outcome.peak_tcase_c = seg.peak_tcase_c;
+      outcome.peak_die_c = seg.peak_die_c;
+      outcome.end_tcase_c = segments[j].tcase_c;
+      outcome.steps = seg.steps;
+      outcome.rejected_steps = seg.rejected_steps;
+      outcome.tcase_limit_exceeded =
+          seg.peak_tcase_c > config.racks[job.rack].tcase_limit_c;
+      if (outcome.tcase_limit_exceeded) ++result.qos_violations;
+      result.peak_tcase_c = std::max(result.peak_tcase_c, seg.peak_tcase_c);
+      result.total_steps += seg.steps;
+      result.total_rejected_steps += seg.rejected_steps;
+      stream_state[job.stream] = seg.end_state_c;
+      out.jobs.push_back(std::move(outcome));
+    }
+    result.intervals.push_back(std::move(out));
+  }
+  return result;
+}
+
+std::uint64_t transient_digest(const TransientFleetResult& result) {
+  std::uint64_t digest = fleet_digest(result.steady);
+  fnv_u64(digest, result.intervals.size());
+  for (const TransientInterval& interval : result.intervals) {
+    fnv_f64(digest, interval.start_s);
+    fnv_f64(digest, interval.duration_s);
+    for (const TransientJobOutcome& job : interval.jobs) {
+      fnv_u64(digest, job.stream);
+      fnv_u64(digest, job.rack);
+      fnv_f64(digest, job.peak_tcase_c);
+      fnv_f64(digest, job.peak_die_c);
+      fnv_f64(digest, job.end_tcase_c);
+      fnv_u64(digest, job.steps);
+      fnv_u64(digest, job.rejected_steps);
+      fnv_u64(digest, job.tcase_limit_exceeded ? 1 : 0);
+    }
+  }
+  fnv_f64(digest, result.duration_s);
+  fnv_f64(digest, result.peak_tcase_c);
+  fnv_u64(digest, result.total_steps);
+  fnv_u64(digest, result.total_rejected_steps);
+  fnv_u64(digest, result.qos_violations);
+  return digest;
+}
+
+}  // namespace tpcool::datacenter

@@ -71,6 +71,16 @@ class ThermalModel {
   /// (modified in place).
   void step_transient(std::vector<double>& t, double dt_s) const;
 
+  /// Advance one embedded backward-Euler step of length `dt_s`: the state
+  /// is committed from a two-half-step pass and the return value is the
+  /// max-norm difference to a single full step [°C] — the local
+  /// step-doubling error estimate an adaptive step chooser controls on
+  /// (backward Euler is first order, so the estimate scales as dt²).
+  /// Costs three linear solves per call; callers wanting rejection
+  /// semantics copy `t` before calling.
+  [[nodiscard]] double step_transient_embedded(std::vector<double>& t,
+                                               double dt_s) const;
+
   /// Extract one layer of a solution as a 2D field [°C].
   [[nodiscard]] util::Grid2D<double> layer_field(const std::vector<double>& t,
                                                  std::size_t layer) const;

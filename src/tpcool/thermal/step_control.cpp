@@ -1,0 +1,61 @@
+#include "tpcool/thermal/step_control.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::thermal {
+
+namespace {
+
+/// Largest per-step shrink factor: a wildly over-tolerance step retries at
+/// a tenth, not at min_dt, so one noisy estimate cannot collapse the run
+/// into floor-sized steps.
+constexpr double kMaxShrink = 0.1;
+
+}  // namespace
+
+StepController::StepController(StepControlConfig config)
+    : config_(config), dt_s_(config.initial_dt_s) {
+  TPCOOL_REQUIRE(config_.tolerance_c > 0.0, "step tolerance must be positive");
+  TPCOOL_REQUIRE(config_.min_dt_s > 0.0, "min dt must be positive");
+  TPCOOL_REQUIRE(config_.max_dt_s >= config_.min_dt_s,
+                 "max dt must be >= min dt");
+  TPCOOL_REQUIRE(config_.initial_dt_s >= config_.min_dt_s &&
+                     config_.initial_dt_s <= config_.max_dt_s,
+                 "initial dt must lie in [min dt, max dt]");
+  TPCOOL_REQUIRE(config_.max_growth > 1.0, "max growth must exceed 1");
+  TPCOOL_REQUIRE(config_.safety > 0.0 && config_.safety <= 1.0,
+                 "safety factor must be in (0, 1]");
+}
+
+double StepController::propose(double remaining_s) const {
+  TPCOOL_REQUIRE(remaining_s > 0.0, "no time remaining to step over");
+  const double dt = std::min(dt_s_, config_.max_dt_s);
+  // Step-to-boundary: land exactly (the caller assigns, not accumulates)…
+  if (dt >= remaining_s) return remaining_s;
+  // …and never set up a sliver: past the halfway mark, split the remainder
+  // evenly (0.5 · remaining is exact in floating point).
+  if (dt > 0.5 * remaining_s) return 0.5 * remaining_s;
+  return dt;
+}
+
+bool StepController::evaluate(double dt_s, double error_c) {
+  TPCOOL_REQUIRE(dt_s > 0.0, "evaluated step must be positive");
+  TPCOOL_REQUIRE(error_c >= 0.0, "error estimate must be non-negative");
+  // Dead-beat update on the order-2 local estimate; a zero estimate (e.g.
+  // an equilibrated field) grows at the cap.
+  double factor = config_.max_growth;
+  if (error_c > 0.0) {
+    factor = std::clamp(config_.safety * std::sqrt(config_.tolerance_c /
+                                                   error_c),
+                        kMaxShrink, config_.max_growth);
+  }
+  dt_s_ = std::clamp(dt_s * factor, config_.min_dt_s, config_.max_dt_s);
+  // Accept within tolerance — or at the floor, where rejecting could not
+  // shrink further anyway (progress guarantee).
+  return error_c <= config_.tolerance_c || dt_s <= config_.min_dt_s;
+}
+
+}  // namespace tpcool::thermal

@@ -1,0 +1,85 @@
+#pragma once
+/// \file step_control.hpp
+/// \brief Adaptive time-step control for the transient thermal path: an
+///        error-estimate chooser (PI-free dead-beat controller on the
+///        step-doubling estimate from
+///        ThermalModel::step_transient_embedded) composed with a
+///        step-to-boundary chooser that clamps proposals so phase and
+///        interval edges are hit exactly — never overshot, never left as
+///        near-zero slivers.  Modeled on the StepChoosers of large
+///        production integrators (SpECTRE `src/Time/StepChoosers/`):
+///        every chooser limits the step, the minimum of the limits runs.
+///
+/// Everything here is plain double arithmetic on the caller's thread —
+/// deterministic for any thread count, so adaptive transient runs keep
+/// the bit-identical engine contract.
+
+#include <cstddef>
+
+namespace tpcool::thermal {
+
+/// Tuning of the adaptive step controller.
+struct StepControlConfig {
+  /// Target local error per step [°C] (max-norm of the step-doubling
+  /// estimate).  Smaller = more, shorter steps.
+  double tolerance_c = 0.05;
+  /// Hard floor: a step at or below this is accepted regardless of its
+  /// error estimate, guaranteeing progress through stiff transients.
+  double min_dt_s = 1.0e-3;
+  /// Hard ceiling on any proposal (smooth plateaus otherwise grow dt
+  /// without bound and skate over the next load change).
+  double max_dt_s = 900.0;
+  /// First proposal of a run (and of each fresh segment).
+  double initial_dt_s = 0.5;
+  /// Largest per-step growth factor of the proposal (SpECTRE's
+  /// ErrorControl chooser limits growth the same way: one cheap step must
+  /// not catapult dt past the next transient).
+  double max_growth = 4.0;
+  /// Safety factor on the dead-beat update so the next step's error lands
+  /// below — not at — the tolerance.
+  double safety = 0.9;
+};
+
+/// One adaptive stepping sequence: propose a dt, integrate, report the
+/// error estimate back, repeat.  `propose` applies the step-to-boundary
+/// rule; `evaluate` applies the error-estimate rule and decides
+/// accept/reject.
+///
+/// Usage per step:
+///   const double dt = controller.propose(remaining_s);
+///   ...integrate a trial step of dt...
+///   if (controller.evaluate(dt, error_c)) { commit } else { retry }
+class StepController {
+ public:
+  explicit StepController(StepControlConfig config);
+
+  [[nodiscard]] const StepControlConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// The dt to attempt given `remaining_s` to the next boundary.  The
+  /// current error-controlled proposal is clamped by the step-to-boundary
+  /// rule: a proposal reaching the boundary returns exactly `remaining_s`
+  /// (callers land by assignment, not accumulation), and a proposal past
+  /// the halfway mark returns remaining_s / 2 so the boundary is never
+  /// approached with a sliver step.  Requires remaining_s > 0.
+  [[nodiscard]] double propose(double remaining_s) const;
+
+  /// Feed back the error estimate of a trial step of `dt_s`.  Returns
+  /// true when the step is accepted (error within tolerance, or dt at the
+  /// floor); either way the next proposal is the dead-beat update
+  ///   dt · clamp(safety · sqrt(tolerance / error), shrink, max_growth)
+  /// clamped into [min_dt_s, max_dt_s].  sqrt: backward Euler is first
+  /// order, so the step-doubling estimate scales as dt².
+  [[nodiscard]] bool evaluate(double dt_s, double error_c);
+
+  /// Next unclamped proposal (before the boundary rule) — observability
+  /// for tests and benches.
+  [[nodiscard]] double current_proposal_s() const noexcept { return dt_s_; }
+
+ private:
+  StepControlConfig config_;
+  double dt_s_;  ///< Error-controlled proposal, boundary-unclamped.
+};
+
+}  // namespace tpcool::thermal

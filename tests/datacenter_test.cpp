@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "tpcool/core/pipeline_pool.hpp"
@@ -107,6 +108,23 @@ TEST(PlacementPolicy, ThermalHeadroomPrefersCoolestThenEmptiest) {
   EXPECT_EQ(policy.select_rack(job, racks), 2u);
 }
 
+TEST(PlacementPolicy, HeadroomOrderIsTrulyLexicographic) {
+  // Regression: the old cost encoding `-headroom * 1e6 + assigned` stopped
+  // being lexicographic once two racks' headrooms differed by less than
+  // assigned / 1e6 — a sub-microdegree headroom edge lost to an emptier
+  // rack.  Any headroom difference must outrank the assignment count.
+  ThermalHeadroomPlacement policy;
+  std::vector<RackLoad> racks = three_racks();
+  racks[0].headroom_c = 10.0;
+  racks[0].assigned = 0;
+  racks[1].headroom_c = 10.0 + 1e-9;  // more headroom, but busier
+  racks[1].assigned = 1;
+  racks[2].headroom_c = 5.0;
+  const JobRequest job = any_job();
+  // The weighted sum picked rack 0 (its -1e7 beat -1e7 - 1e-3 + 1).
+  EXPECT_EQ(policy.select_rack(job, racks), 1u);
+}
+
 TEST(PlacementPolicy, JobPowerEstimateTracksQoSSlack) {
   const workload::BenchmarkProfile& bench = workload::find_benchmark("x264");
   // Tighter QoS leaves less power slack, so the estimate is larger.
@@ -199,6 +217,78 @@ TEST_F(DatacenterTest, IntervalsAreTheUnionOfPhaseBoundaries) {
   ASSERT_EQ(result.intervals[3].jobs.size(), 1u);
   EXPECT_EQ(result.intervals[3].jobs[0].stream, 0u);
   EXPECT_EQ(result.intervals[3].jobs[0].benchmark, "canneal");
+}
+
+TEST_F(DatacenterTest, UlpBoundarySliversCollapseToTheLargerVariant) {
+  // Two streams whose boundaries coincide only up to float accumulation:
+  // stream a's total is 0.1 + 0.2 (the larger ULP variant), stream b's is
+  // the literal 0.3.  Exact dedupe would keep both variants and emit a
+  // sliver interval of ~5.6e-17 s between them.
+  ASSERT_NE(0.1 + 0.2, 0.3);  // the premise
+  const workload::WorkloadTrace a({{"x264", {2.0}, 0.1},
+                                   {"canneal", {3.0}, 0.2}});
+  const workload::WorkloadTrace b({{"vips", {2.0}, 0.3}});
+
+  const std::vector<double> boundaries = fleet_interval_boundaries({a, b});
+  ASSERT_EQ(boundaries.size(), 3u);
+  EXPECT_EQ(boundaries[0], 0.0);
+  EXPECT_EQ(boundaries[1], 0.1);
+  // The cluster collapses to its LARGER member, so stream b (whose own sum
+  // is the smaller variant) tests as finished there instead of being
+  // resurrected for the sliver.
+  EXPECT_EQ(boundaries[2], 0.1 + 0.2);
+
+  FleetModel fleet(two_rack_fleet());
+  const FleetResult result = fleet.run({a, b});
+  ASSERT_EQ(result.intervals.size(), 2u);
+  for (const FleetInterval& iv : result.intervals) {
+    EXPECT_GT(iv.duration_s, 0.05);  // no sliver interval survived
+  }
+  // Both streams run in both intervals (b is active until the collapsed
+  // boundary).
+  EXPECT_EQ(result.intervals[0].jobs.size(), 2u);
+  EXPECT_EQ(result.intervals[1].jobs.size(), 2u);
+}
+
+TEST_F(DatacenterTest, ExactlyCoincidentBoundariesStillDedupe) {
+  // The epsilon path must not disturb the exact-match case.
+  const workload::WorkloadTrace a({{"x264", {2.0}, 2.0}});
+  const workload::WorkloadTrace b({{"vips", {2.0}, 1.0},
+                                   {"canneal", {3.0}, 1.0}});
+  const std::vector<double> boundaries = fleet_interval_boundaries({a, b});
+  ASSERT_EQ(boundaries.size(), 3u);
+  EXPECT_EQ(boundaries[0], 0.0);
+  EXPECT_EQ(boundaries[1], 1.0);
+  EXPECT_EQ(boundaries[2], 2.0);
+}
+
+TEST_F(DatacenterTest, PlacementStateIsPerRunNotSharedAcrossFleets) {
+  // Round-robin carries a cursor across dispatches *within* one run.  A
+  // fresh policy is built per run, so reruns of one model are
+  // bit-identical, and concurrent fleets cannot leak dispatch state into
+  // each other.
+  FleetConfig config = two_rack_fleet();
+  const workload::WorkloadTrace trace({{"x264", {2.0}, 1.0}});
+  const std::vector<workload::WorkloadTrace> streams{trace, trace, trace};
+
+  util::ThreadPool::set_global_thread_count(2);
+  core::SolveCache::global()->clear();
+  FleetModel fleet(config);
+  const FleetResult first = fleet.run(streams);
+  const FleetResult second = fleet.run(streams);
+  EXPECT_EQ(fleet_digest(first), fleet_digest(second));
+  EXPECT_EQ(first.intervals[0].jobs[0].rack, 0u);   // cursor reset
+  EXPECT_EQ(second.intervals[0].jobs[0].rack, 0u);  // not carried over
+
+  // Two fleets running concurrently reproduce the isolated result bit for
+  // bit: each run owns its policy instance.
+  FleetResult r1, r2;
+  std::thread t1([&] { r1 = FleetModel(config).run(streams); });
+  std::thread t2([&] { r2 = FleetModel(config).run(streams); });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(fleet_digest(r1), fleet_digest(first));
+  EXPECT_EQ(fleet_digest(r2), fleet_digest(first));
 }
 
 TEST_F(DatacenterTest, DispatchFollowsThePlacementPolicy) {

@@ -239,6 +239,12 @@ SimulationResult rich_result(int seed) {
     r.package_field_c.data()[i] = 45.0 + s + 0.5 * static_cast<double>(i);
   }
   r.active_cores = {seed, 1, 5};
+  r.transient.end_state_c = {70.0 + s, 68.5 + s, 67.0 + s, 66.25 + s};
+  r.transient.peak_tcase_c = 58.0 + s;
+  r.transient.peak_die_c = 63.0 + s;
+  r.transient.sim_time_s = 120.0 + s;
+  r.transient.steps = 17u + static_cast<std::uint64_t>(seed);
+  r.transient.rejected_steps = static_cast<std::uint64_t>(seed % 3);
   return r;
 }
 
@@ -276,6 +282,12 @@ void expect_results_identical(const SimulationResult& a,
   EXPECT_EQ(a.die_field_c.data(), b.die_field_c.data());
   EXPECT_EQ(a.package_field_c.data(), b.package_field_c.data());
   EXPECT_EQ(a.active_cores, b.active_cores);
+  EXPECT_EQ(a.transient.end_state_c, b.transient.end_state_c);
+  EXPECT_EQ(a.transient.peak_tcase_c, b.transient.peak_tcase_c);
+  EXPECT_EQ(a.transient.peak_die_c, b.transient.peak_die_c);
+  EXPECT_EQ(a.transient.sim_time_s, b.transient.sim_time_s);
+  EXPECT_EQ(a.transient.steps, b.transient.steps);
+  EXPECT_EQ(a.transient.rejected_steps, b.transient.rejected_steps);
 }
 
 std::string read_file(const std::string& path) {

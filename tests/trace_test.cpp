@@ -153,6 +153,57 @@ TEST_F(TraceRunnerTest, FlagsPhaseExceedingTcaseLimit) {
   EXPECT_GT(result.peak_tcase_c, 30.0);
 }
 
+TEST_F(TraceRunnerTest, FinalStepClampsToThePhaseBoundary) {
+  // Regression: `steps = ceil(duration / period)` with every step a full
+  // period integrated a 1.1 s phase at a 0.5 s period for 1.5 s — the
+  // thermal state overshot the boundary while energy_j covered 1.1 s.
+  // The final step is now clamped to the remainder.
+  const workload::WorkloadTrace trace({{"x264", {2.0}, 1.1}});
+
+  core::TraceRunner half(pipeline_.server(), pipeline_.scheduler(),
+                         {.control_period_s = 0.5});
+  const core::TraceResult at_half = half.run(trace);
+  ASSERT_EQ(at_half.phases.size(), 1u);
+  // Exact landing (by assignment, not accumulation) and the clamped step
+  // count: 0.5 + 0.5 + 0.1.
+  EXPECT_EQ(at_half.phases[0].sim_time_s, 1.1);
+  EXPECT_EQ(at_half.phases[0].steps, 3u);
+
+  // A 0.55 s period divides 1.1 s evenly — same window, no clamp needed.
+  // Both runs now integrate the same 1.1 s, so their end states agree to
+  // discretization error; the buggy runner's extra 0.4 s of heating put
+  // them much further apart.
+  core::TraceRunner even(pipeline_.server(), pipeline_.scheduler(),
+                         {.control_period_s = 0.55});
+  const core::TraceResult at_even = even.run(trace);
+  EXPECT_EQ(at_even.phases[0].sim_time_s, 1.1);
+  EXPECT_EQ(at_even.phases[0].steps, 2u);
+  EXPECT_NEAR(at_half.phases[0].end_tcase_c, at_even.phases[0].end_tcase_c,
+              0.5);
+
+  // The buggy integrator behaved exactly like a 1.5 s phase at the same
+  // period; the clamped one must stop strictly earlier on the heating
+  // curve.
+  const core::TraceResult at_full =
+      half.run(workload::WorkloadTrace({{"x264", {2.0}, 1.5}}));
+  EXPECT_LT(at_half.phases[0].end_tcase_c, at_full.phases[0].end_tcase_c);
+
+  // energy_j and the thermal state cover the same 1.1 s window.
+  EXPECT_NEAR(at_half.phases[0].energy_j,
+              at_half.phases[0].avg_power_w * 1.1, 1e-9);
+}
+
+TEST_F(TraceRunnerTest, IntegerMultiplePhasesKeepFullPeriodSteps) {
+  // Phases that divide evenly by the period are untouched by the clamp.
+  core::TraceRunner runner(pipeline_.server(), pipeline_.scheduler(),
+                           {.control_period_s = 1.0});
+  const core::TraceResult result =
+      runner.run(workload::WorkloadTrace({{"x264", {2.0}, 3.0}}));
+  ASSERT_EQ(result.phases.size(), 1u);
+  EXPECT_EQ(result.phases[0].sim_time_s, 3.0);
+  EXPECT_EQ(result.phases[0].steps, 3u);
+}
+
 TEST_F(TraceRunnerTest, EnergyAccumulatesOverPhases) {
   core::TraceRunner runner(pipeline_.server(), pipeline_.scheduler(), {});
   const core::TraceResult result =

@@ -1,0 +1,346 @@
+// Tests for the adaptive-step transient path: StepController units (the
+// error-estimate and step-to-boundary choosers), the embedded
+// step-doubling error step, and the TransientFleetEngine — exact boundary
+// landing, fewer steps than the fixed-period baseline on smooth traces,
+// bit-identity across thread counts, snapshot-warm replay with zero
+// misses, and per-stream thermal-state chaining.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tpcool/core/pipeline_pool.hpp"
+#include "tpcool/core/solve_cache.hpp"
+#include "tpcool/datacenter/transient.hpp"
+#include "tpcool/thermal/grid.hpp"
+#include "tpcool/thermal/stack.hpp"
+#include "tpcool/thermal/step_control.hpp"
+#include "tpcool/util/error.hpp"
+#include "tpcool/util/thread_pool.hpp"
+
+namespace tpcool {
+namespace {
+
+// ---------------------------------------------------------- StepController --
+
+thermal::StepControlConfig tight_config() {
+  thermal::StepControlConfig config;
+  config.tolerance_c = 0.05;
+  config.min_dt_s = 1.0e-3;
+  config.max_dt_s = 900.0;
+  config.initial_dt_s = 0.5;
+  config.max_growth = 4.0;
+  config.safety = 0.9;
+  return config;
+}
+
+TEST(StepController, ValidatesConfig) {
+  auto bad = tight_config();
+  bad.tolerance_c = 0.0;
+  EXPECT_THROW(thermal::StepController{bad}, util::PreconditionError);
+  bad = tight_config();
+  bad.min_dt_s = -1.0;
+  EXPECT_THROW(thermal::StepController{bad}, util::PreconditionError);
+  bad = tight_config();
+  bad.max_dt_s = bad.min_dt_s / 2.0;
+  EXPECT_THROW(thermal::StepController{bad}, util::PreconditionError);
+  bad = tight_config();
+  bad.initial_dt_s = 2.0 * bad.max_dt_s;
+  EXPECT_THROW(thermal::StepController{bad}, util::PreconditionError);
+  bad = tight_config();
+  bad.max_growth = 1.0;
+  EXPECT_THROW(thermal::StepController{bad}, util::PreconditionError);
+  bad = tight_config();
+  bad.safety = 1.5;
+  EXPECT_THROW(thermal::StepController{bad}, util::PreconditionError);
+}
+
+TEST(StepController, ProposeAppliesTheStepToBoundaryRules) {
+  const thermal::StepController controller(tight_config());
+  // Far from the boundary: the error-controlled proposal runs unclamped.
+  EXPECT_EQ(controller.propose(10.0), 0.5);
+  // Reaching the boundary: exactly the remainder (land by assignment).
+  EXPECT_EQ(controller.propose(0.4), 0.4);
+  EXPECT_EQ(controller.propose(0.5), 0.5);
+  // Past the halfway mark: split evenly, never set up a sliver.
+  EXPECT_EQ(controller.propose(0.8), 0.4);
+  EXPECT_EQ(controller.propose(0.9999), 0.5 * 0.9999);
+  EXPECT_THROW((void)controller.propose(0.0), util::PreconditionError);
+  EXPECT_THROW((void)controller.propose(-1.0), util::PreconditionError);
+}
+
+TEST(StepController, EvaluateRunsTheDeadBeatUpdate) {
+  const auto config = tight_config();
+  thermal::StepController controller(config);
+
+  // Error at tolerance: accepted, next proposal shrinks by safety.
+  EXPECT_TRUE(controller.evaluate(0.5, config.tolerance_c));
+  EXPECT_DOUBLE_EQ(controller.current_proposal_s(), 0.5 * config.safety);
+
+  // Zero error (an equilibrated field): grows at the cap.
+  thermal::StepController growing(config);
+  EXPECT_TRUE(growing.evaluate(0.5, 0.0));
+  EXPECT_DOUBLE_EQ(growing.current_proposal_s(), 0.5 * config.max_growth);
+
+  // 4x over tolerance: rejected, retried at 0.9 * sqrt(1/4) = 0.45x.
+  thermal::StepController shrinking(config);
+  EXPECT_FALSE(shrinking.evaluate(0.5, 4.0 * config.tolerance_c));
+  EXPECT_DOUBLE_EQ(shrinking.current_proposal_s(),
+                   0.5 * config.safety * 0.5);
+
+  // Wildly over tolerance: the shrink factor floors at 0.1, not at min_dt.
+  thermal::StepController floored(config);
+  EXPECT_FALSE(floored.evaluate(0.5, 1.0e9));
+  EXPECT_DOUBLE_EQ(floored.current_proposal_s(), 0.05);
+
+  // At the dt floor any error is accepted (progress guarantee).
+  thermal::StepController at_floor(config);
+  EXPECT_TRUE(at_floor.evaluate(config.min_dt_s, 1.0e9));
+  EXPECT_DOUBLE_EQ(at_floor.current_proposal_s(), config.min_dt_s);
+
+  EXPECT_THROW((void)at_floor.evaluate(0.0, 0.0), util::PreconditionError);
+  EXPECT_THROW((void)at_floor.evaluate(0.5, -1.0), util::PreconditionError);
+}
+
+TEST(StepController, AcceptedStepsLandExactlyOnAwkwardDurations) {
+  // Drive the controller over durations that do not divide by any power of
+  // two of the initial dt; land-by-assignment plus the half-split rule
+  // must reach every boundary exactly, with no sliver steps.
+  const auto config = tight_config();
+  for (const double duration_s : {1.1, 0.7, 86400.0 / 7.0, 3.0 + 1e-13}) {
+    SCOPED_TRACE(duration_s);
+    thermal::StepController controller(config);
+    double sim_time_s = 0.0;
+    double min_dt_s = 1.0e9;
+    int steps = 0;
+    while (sim_time_s < duration_s) {
+      const double remaining_s = duration_s - sim_time_s;
+      const double dt_s = controller.propose(remaining_s);
+      // Alternate small errors so the proposal keeps moving.
+      EXPECT_TRUE(controller.evaluate(
+          dt_s, (steps % 2 == 0 ? 0.4 : 0.9) * config.tolerance_c));
+      sim_time_s = dt_s == remaining_s ? duration_s : sim_time_s + dt_s;
+      min_dt_s = std::min(min_dt_s, dt_s);
+      ++steps;
+      ASSERT_LT(steps, 100000);
+    }
+    EXPECT_EQ(sim_time_s, duration_s);  // bitwise exact landing
+    // The half-split rule keeps every step above half the floor.
+    EXPECT_GE(min_dt_s, 0.5 * config.min_dt_s);
+  }
+}
+
+// ------------------------------------------------------------ embedded step --
+
+thermal::StackModel make_slab(std::size_t nx, std::size_t ny) {
+  thermal::StackModel model;
+  model.grid.x0 = 0.0;
+  model.grid.y0 = 0.0;
+  model.grid.dx = 1.0e-3;
+  model.grid.dy = 1.0e-3;
+  model.grid.nx = nx;
+  model.grid.ny = ny;
+  const auto layer = [&](const std::string& name) {
+    thermal::StackLayer l;
+    l.name = name;
+    l.thickness_m = 1.0e-3;
+    l.conductivity_w_mk = util::Grid2D<double>(nx, ny, 100.0);
+    l.vol_heat_cap_j_m3k = util::Grid2D<double>(nx, ny, 2.0e6);
+    return l;
+  };
+  model.layers.push_back(layer("bottom"));
+  model.layers.push_back(layer("top"));
+  model.die_layer = 0;
+  model.ihs_layer = 1;
+  model.top_layer = 1;
+  model.die_region =
+      floorplan::Rect{0.0, 0.0, static_cast<double>(nx) * 1.0e-3,
+                      static_cast<double>(ny) * 1.0e-3};
+  model.evaporator_region = model.die_region;
+  return model;
+}
+
+TEST(EmbeddedStep, CommitsTheTwoHalfStepsAndReturnsTheirDistance) {
+  thermal::ThermalModel model(make_slab(6, 6));
+  model.set_top_boundary_uniform(4000.0, 30.0);
+  model.set_bottom_boundary(0.0, 0.0);
+  model.set_power_map(util::Grid2D<double>(6, 6, 0.2));
+  const std::vector<double> t0(model.cell_count(), 30.0);
+
+  // The committed state is exactly the two-half-step path.
+  std::vector<double> embedded = t0;
+  const double error_c = model.step_transient_embedded(embedded, 0.2);
+  std::vector<double> manual = t0;
+  model.step_transient(manual, 0.1);
+  model.step_transient(manual, 0.1);
+  EXPECT_EQ(embedded, manual);  // bitwise
+
+  // A heating transient has a nonzero estimate, and halving dt cuts it
+  // about 4x (backward Euler is first order: the step-doubling estimate
+  // scales as dt^2).
+  EXPECT_GT(error_c, 0.0);
+  std::vector<double> halved = t0;
+  const double error_half_c = model.step_transient_embedded(halved, 0.1);
+  EXPECT_LT(error_half_c, error_c);
+  EXPECT_NEAR(error_c / error_half_c, 4.0, 2.0);
+
+  EXPECT_THROW((void)model.step_transient_embedded(embedded, 0.0),
+               util::PreconditionError);
+}
+
+// ---------------------------------------------------- TransientFleetEngine --
+
+constexpr double kCell = 2.0e-3;
+
+class TransientEngineTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    util::ThreadPool::set_global_thread_count(0);
+    core::SolveCache::global()->clear();
+    core::PipelinePool::global().clear();
+  }
+};
+
+datacenter::FleetConfig small_fleet() {
+  return datacenter::make_heterogeneous_fleet(2, 2, kCell);
+}
+
+std::vector<workload::WorkloadTrace> smooth_streams() {
+  // Two phases per stream with awkward durations: the engine must land on
+  // 1.1, 1.8 (stream 0) and 1.1 + 0.7 interior boundaries exactly.
+  return {workload::WorkloadTrace(
+              {{"x264", {2.0}, 1.1}, {"canneal", {3.0}, 0.7}}),
+          workload::WorkloadTrace({{"vips", {2.0}, 1.8}})};
+}
+
+TEST_F(TransientEngineTest, ValidatesEngineConfig) {
+  datacenter::TransientEngineConfig bad;
+  bad.fixed_dt_s = -0.5;
+  EXPECT_THROW(datacenter::TransientFleetEngine(small_fleet(), bad),
+               util::PreconditionError);
+  datacenter::TransientEngineConfig bad_controller;
+  bad_controller.step_control.tolerance_c = -1.0;
+  EXPECT_THROW(
+      datacenter::TransientFleetEngine(small_fleet(), bad_controller),
+      util::PreconditionError);
+}
+
+TEST_F(TransientEngineTest, AdaptiveTakesFewerStepsThanTheFixedBaseline) {
+  // A long smooth phase — where a fixed control period burns steps on a
+  // plateau the adaptive controller crosses in a handful of growing steps.
+  // (On *short* bursty phases the adaptive run rightly spends extra steps
+  // on the steep warm-up; the win is on smooth stretches.)
+  const std::vector<workload::WorkloadTrace> streams{
+      workload::WorkloadTrace({{"x264", {2.0}, 180.0}})};
+
+  datacenter::TransientEngineConfig fixed;
+  fixed.fixed_dt_s = 0.5;  // the TraceRunner-style reference integrator
+  const datacenter::TransientFleetResult fixed_run =
+      datacenter::TransientFleetEngine(small_fleet(), fixed).run(streams);
+
+  core::SolveCache::global()->clear();
+  const datacenter::TransientEngineConfig adaptive;  // defaults
+  const datacenter::TransientFleetResult adaptive_run =
+      datacenter::TransientFleetEngine(small_fleet(), adaptive).run(streams);
+
+  // Both integrate the same single 180 s interval.
+  ASSERT_EQ(fixed_run.intervals.size(), 1u);
+  ASSERT_EQ(adaptive_run.intervals.size(), 1u);
+  EXPECT_EQ(fixed_run.total_steps, 360u);  // 180 s / 0.5 s
+  EXPECT_EQ(fixed_run.total_rejected_steps, 0u);
+
+  // The adaptive controller grows dt over the smooth stretch: measurably
+  // fewer total trials (accepted + rejected) for the same simulated time.
+  EXPECT_LT(adaptive_run.total_steps + adaptive_run.total_rejected_steps,
+            fixed_run.total_steps / 2);
+  EXPECT_GT(adaptive_run.total_steps, 0u);
+
+  // Same physics: the trajectories agree on the transient peak to within
+  // a few times the step tolerance.
+  EXPECT_NEAR(adaptive_run.peak_tcase_c, fixed_run.peak_tcase_c, 1.0);
+  EXPECT_EQ(adaptive_run.qos_violations, 0u);
+}
+
+TEST_F(TransientEngineTest, BitIdenticalAcrossThreadCounts) {
+  const datacenter::TransientEngineConfig config;
+
+  util::ThreadPool::set_global_thread_count(1);
+  core::SolveCache::global()->clear();
+  const datacenter::TransientFleetResult serial =
+      datacenter::TransientFleetEngine(small_fleet(), config)
+          .run(smooth_streams());
+  const std::uint64_t serial_digest = datacenter::transient_digest(serial);
+
+  for (const std::size_t threads : {2u, 4u}) {
+    util::ThreadPool::set_global_thread_count(threads);
+    core::SolveCache::global()->clear();  // recompute, don't replay bits
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const datacenter::TransientFleetResult parallel =
+        datacenter::TransientFleetEngine(small_fleet(), config)
+            .run(smooth_streams());
+    EXPECT_EQ(datacenter::transient_digest(parallel), serial_digest);
+  }
+}
+
+TEST_F(TransientEngineTest, SnapshotWarmRerunReplaysWithZeroMisses) {
+  // Cold run, snapshot, reload into an empty cache: the rerun must serve
+  // every solve — steady fleet AND chained transient segments (whose keys
+  // include the initial-field digest) — from the snapshot, bit-identically.
+  const datacenter::TransientEngineConfig config;
+  util::ThreadPool::set_global_thread_count(2);
+  core::SolveCache::global()->clear();
+  const datacenter::TransientFleetResult cold =
+      datacenter::TransientFleetEngine(small_fleet(), config)
+          .run(smooth_streams());
+
+  const std::string path = ::testing::TempDir() + "tpcool_transient_snap.bin";
+  core::SolveCache::global()->save(path);
+  core::SolveCache::global()->clear();
+  core::SolveCache::global()->load(path);
+  const datacenter::TransientFleetResult warm =
+      datacenter::TransientFleetEngine(small_fleet(), config)
+          .run(smooth_streams());
+  const core::SolveCache::Stats stats = core::SolveCache::global()->stats();
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_EQ(datacenter::transient_digest(warm),
+            datacenter::transient_digest(cold));
+  std::remove(path.c_str());
+}
+
+TEST_F(TransientEngineTest, ThermalStateFollowsTheStreamAcrossIntervals) {
+  // Heavy phase then light phase on one stream: the light phase starts
+  // warm (inherited field), so its peak is at its beginning and it cools
+  // toward its end — only observable if the segment chain carries state.
+  const std::vector<workload::WorkloadTrace> streams{workload::WorkloadTrace(
+      {{"x264", {1.0}, 8.0}, {"canneal", {3.0}, 8.0}})};
+  const datacenter::TransientEngineConfig config;
+  const datacenter::TransientFleetResult result =
+      datacenter::TransientFleetEngine(small_fleet(), config).run(streams);
+
+  ASSERT_EQ(result.intervals.size(), 2u);
+  ASSERT_EQ(result.intervals[1].jobs.size(), 1u);
+  const datacenter::TransientJobOutcome& light = result.intervals[1].jobs[0];
+  EXPECT_GT(light.peak_tcase_c, light.end_tcase_c + 0.2);
+  // And the heavy phase heated up from the uniform start.
+  const datacenter::TransientJobOutcome& heavy = result.intervals[0].jobs[0];
+  EXPECT_GT(heavy.end_tcase_c, 36.0);
+  EXPECT_GE(heavy.peak_die_c, heavy.peak_tcase_c);
+}
+
+TEST_F(TransientEngineTest, TransientPeaksAboveTheLimitCountViolations) {
+  datacenter::FleetConfig config = small_fleet();
+  for (datacenter::RackSpec& rack : config.racks) rack.tcase_limit_c = 30.0;
+  const datacenter::TransientFleetResult result =
+      datacenter::TransientFleetEngine(config, {})
+          .run({workload::WorkloadTrace({{"x264", {1.0}, 2.0}})});
+  EXPECT_GE(result.qos_violations, 1u);
+  ASSERT_EQ(result.intervals.size(), 1u);
+  EXPECT_TRUE(result.intervals[0].jobs[0].tcase_limit_exceeded);
+}
+
+}  // namespace
+}  // namespace tpcool
