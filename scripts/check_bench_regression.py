@@ -17,6 +17,11 @@ Both files must carry the same schema, one of:
     solve_ms + coupled-solve count ("iterations") + accepted transient
     step count ("steps"; cache hits and rejected retries are
     informational)
+  - tpcool-streaming-bench-v1   (streaming_scaling --json): per case
+    solve_ms + coupled-solve count ("iterations") + emitted fleet
+    interval count ("steps"; cache hits and the engine's peak
+    held-interval count are informational — the bench itself fails hard
+    when peak_held exceeds the documented bound)
 
 A case regresses when any compared metric exceeds the baseline by more
 than --max-regress (relative).  Iteration/solve/hit counts are
@@ -37,7 +42,8 @@ import json
 import sys
 
 KNOWN_SCHEMAS = ("tpcool-solver-bench-v1", "tpcool-experiment-bench-v1",
-                 "tpcool-datacenter-bench-v1", "tpcool-transient-bench-v1")
+                 "tpcool-datacenter-bench-v1", "tpcool-transient-bench-v1",
+                 "tpcool-streaming-bench-v1")
 
 # Metrics compared per schema; a metric missing from either file is skipped.
 # "hits" is emitted for information only: a lost cache hit already shows up

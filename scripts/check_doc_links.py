@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's Markdown files.
+
+Usage:
+    check_doc_links.py [ROOT]
+
+Walks every *.md under ROOT (default: the repository root, i.e. the
+parent of this script's directory), extracts inline Markdown links
+[text](target) and reference definitions [label]: target, and checks that
+every RELATIVE target resolves to an existing file or directory, from the
+linking file's own directory.  Fragments (#section) and queries are
+stripped before the existence check; fragment-only links ("#anchor"),
+absolute URLs (scheme://, mailto:), and absolute paths (which would not
+survive a clone anyway and are reported separately) are not resolved.
+
+Directories named build*, .git, or third_party are skipped.
+
+Exit status: 0 = all relative links resolve, 1 = dead link(s) found.
+"""
+
+import os
+import re
+import sys
+
+# Inline links: [text](target "title"?).  Skips images' leading "!" by
+# matching it optionally — image targets are checked the same way.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Reference definitions: [label]: target
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+# Fenced code blocks — links inside them are examples, not navigation.
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+SKIP_DIRS = {".git", "third_party"}
+
+
+def is_external(target):
+    return (
+        "://" in target
+        or target.startswith("mailto:")
+        or target.startswith("#")
+    )
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    text = CODE_FENCE.sub("", text)
+    targets = INLINE_LINK.findall(text) + REFERENCE_DEF.findall(text)
+
+    dead = []
+    for target in targets:
+        if is_external(target):
+            continue
+        # Strip fragment and query before the existence check.
+        bare = target.split("#", 1)[0].split("?", 1)[0]
+        if not bare:
+            continue
+        if bare.startswith("/"):
+            dead.append((target, "absolute path (use a relative link)"))
+            continue
+        resolved = os.path.normpath(os.path.join(os.path.dirname(path), bare))
+        if not os.path.exists(resolved):
+            dead.append((target, f"no such file: {os.path.relpath(resolved, root)}"))
+    return dead
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.normpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir))
+    failures = 0
+    checked = 0
+    for path in markdown_files(root):
+        checked += 1
+        for target, reason in check_file(path, root):
+            print(f"DEAD  {os.path.relpath(path, root)}: ({target}) — {reason}")
+            failures += 1
+    if failures:
+        print(f"\n{failures} dead link(s) across {checked} Markdown file(s)")
+        return 1
+    print(f"all relative links resolve across {checked} Markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

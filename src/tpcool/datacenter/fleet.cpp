@@ -1,57 +1,29 @@
 #include "tpcool/datacenter/fleet.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
-#include <memory>
 #include <utility>
 
-#include "tpcool/cooling/pue.hpp"
-#include "tpcool/core/parallel.hpp"
-#include "tpcool/core/pipeline_pool.hpp"
-#include "tpcool/core/solve_cache.hpp"
+#include "tpcool/datacenter/streaming.hpp"
 #include "tpcool/util/error.hpp"
+#include "tpcool/util/fnv.hpp"
 
 namespace tpcool::datacenter {
 
-namespace {
-
-/// One job per chunk: every (rack, server) slot schedules and scans
-/// independently, exactly like the rack coordinator.
-constexpr std::size_t kFleetGrain = 1;
-
-/// Phase-1 outcome of one job: the schedule and the supply-temperature
-/// scan against its rack's candidates.
-struct ScanOutcome {
-  core::ScheduleDecision decision;
-  double max_supply_temp_c = 0.0;
-  double demand_power_w = 0.0;  ///< Package power at the scan's endpoint.
-  bool infeasible = false;      ///< No candidate kept TCASE within limit.
-};
-
-void fnv_u64(std::uint64_t& digest, std::uint64_t value) {
-  for (int shift = 0; shift < 64; shift += 8) {
-    digest ^= (value >> shift) & 0xFF;
-    digest *= 1099511628211ULL;
-  }
-}
-
-void fnv_f64(std::uint64_t& digest, double value) {
-  fnv_u64(digest, std::bit_cast<std::uint64_t>(value));
-}
-
-}  // namespace
-
-FleetModel::FleetModel(FleetConfig config) : config_(std::move(config)) {
-  TPCOOL_REQUIRE(!config_.racks.empty(), "fleet needs at least one rack");
-  for (const RackSpec& rack : config_.racks) {
+void validate_fleet_config(const FleetConfig& config) {
+  TPCOOL_REQUIRE(!config.racks.empty(), "fleet needs at least one rack");
+  for (const RackSpec& rack : config.racks) {
     TPCOOL_REQUIRE(rack.servers >= 1, "rack needs at least one server");
     TPCOOL_REQUIRE(!rack.supply_candidates_c.empty(),
                    "rack needs supply-temperature candidates");
     TPCOOL_REQUIRE(rack.cell_size_m > 0.0, "cell size must be positive");
   }
   // Validate the policy name at construction, not first run.
-  (void)make_placement_policy(config_.placement);
+  (void)make_placement_policy(config.placement);
+}
+
+FleetModel::FleetModel(FleetConfig config) : config_(std::move(config)) {
+  validate_fleet_config(config_);
 }
 
 std::size_t FleetModel::total_capacity() const noexcept {
@@ -62,195 +34,14 @@ std::size_t FleetModel::total_capacity() const noexcept {
 
 FleetResult FleetModel::run(
     const std::vector<workload::WorkloadTrace>& streams) {
-  TPCOOL_REQUIRE(!streams.empty(), "fleet run needs at least one stream");
-
-  const std::vector<double> boundaries = fleet_interval_boundaries(streams);
-
-  const std::unique_ptr<PlacementPolicy> policy =
-      make_placement_policy(config_.placement);
-
-  // Per-rack dispatch state; headroom carries across intervals.
-  std::vector<RackLoad> loads(config_.racks.size());
-  for (std::size_t r = 0; r < config_.racks.size(); ++r) {
-    loads[r] = {r, config_.racks[r].servers, 0, 0.0, kIdleHeadroomC};
-  }
-
-  // Per-rack design water flow (the §VI-C operating point of the rack's
-  // approach), fixed over the run like in the rack coordinator.
-  std::vector<double> design_flow_kg_h(config_.racks.size());
-  for (std::size_t r = 0; r < config_.racks.size(); ++r) {
-    design_flow_kg_h[r] =
-        core::server_config_for(config_.racks[r].approach,
-                                config_.racks[r].cell_size_m)
-            .operating_point.water_flow_kg_h;
-  }
-
-  FleetResult result;
-  result.duration_s = boundaries.back();
-
-  for (std::size_t b = 0; b + 1 < boundaries.size(); ++b) {
-    const double start_s = boundaries[b];
-    const double duration_s = boundaries[b + 1] - boundaries[b];
-
-    // Arrivals: every still-active stream contributes its current phase.
-    std::vector<JobRequest> jobs;
-    for (std::size_t s = 0; s < streams.size(); ++s) {
-      if (start_s >= streams[s].total_duration_s()) continue;  // stream done
-      const workload::TracePhase& phase = streams[s].phase_at(start_s);
-      JobRequest job;
-      job.stream = s;
-      job.bench = &workload::find_benchmark(phase.benchmark);
-      job.qos = phase.qos;
-      job.est_power_w = job_power_estimate(*job.bench, job.qos);
-      jobs.push_back(job);
-    }
-    TPCOOL_REQUIRE(jobs.size() <= total_capacity(),
-                   "fleet over capacity: " + std::to_string(jobs.size()) +
-                       " active streams vs " +
-                       std::to_string(total_capacity()) + " servers");
-
-    // Dispatch in stream order (the arrival order): deterministic, serial.
-    for (RackLoad& load : loads) {
-      load.assigned = 0;
-      load.est_power_w = 0.0;
-    }
-    std::vector<std::size_t> placed_rack(jobs.size());
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-      const std::size_t rack = policy->select_rack(jobs[j], loads);
-      TPCOOL_REQUIRE(rack < loads.size() && !loads[rack].full(),
-                     "placement policy chose an invalid rack");
-      placed_rack[j] = rack;
-      ++loads[rack].assigned;
-      loads[rack].est_power_w += jobs[j].est_power_w;
-    }
-
-    // Phase 1, parallel over all jobs of all racks: schedule, then scan
-    // the rack's supply candidates for the highest feasible temperature.
-    // Unlike RackCoordinator::plan, infeasibility does not throw — the
-    // server pins to the coldest candidate and is flagged.
-    const std::vector<ScanOutcome> scans = core::parallel_map<ScanOutcome>(
-        jobs.size(), kFleetGrain,
-        [&](std::size_t chunk) {
-          const RackSpec& spec = config_.racks[placed_rack[chunk]];
-          return core::PipelinePool::global().checkout(
-              spec.approach, spec.cell_size_m, core::SolveCache::global());
-        },
-        [&](core::PipelinePool::Lease& pipeline, std::size_t j) {
-          const RackSpec& spec = config_.racks[placed_rack[j]];
-          core::ServerModel& server = pipeline->server();
-          ScanOutcome scan;
-          scan.decision =
-              pipeline->scheduler().schedule(*jobs[j].bench, jobs[j].qos);
-          for (const double t_w : spec.supply_candidates_c) {
-            server.set_operating_point(
-                {.water_flow_kg_h = design_flow_kg_h[placed_rack[j]],
-                 .water_inlet_c = t_w});
-            const core::SimulationResult sim = server.simulate(
-                *jobs[j].bench, scan.decision.point.config,
-                scan.decision.cores, scan.decision.idle_state);
-            scan.max_supply_temp_c = t_w;
-            scan.demand_power_w = sim.total_power_w;
-            if (sim.tcase_c <= spec.tcase_limit_c) return scan;
-          }
-          scan.infeasible = true;  // runs pinned at the coldest candidate
-          return scan;
-        });
-
-    // Shared loop per rack: setpoint = min over its servers' maxima.
-    std::vector<cooling::RackCoolingState> rack_cooling(config_.racks.size());
-    for (std::size_t r = 0; r < config_.racks.size(); ++r) {
-      std::vector<cooling::ServerDemand> demands;
-      for (std::size_t j = 0; j < jobs.size(); ++j) {
-        if (placed_rack[j] != r) continue;
-        demands.push_back({scans[j].demand_power_w,
-                           scans[j].max_supply_temp_c, design_flow_kg_h[r]});
-      }
-      if (!demands.empty()) {
-        rack_cooling[r] =
-            cooling::solve_rack_cooling(demands, config_.racks[r].chiller);
-      }
-    }
-
-    // Phase 2, parallel again: every server at its rack's shared setpoint.
-    const std::vector<core::SimulationResult> at_setpoint =
-        core::parallel_map<core::SimulationResult>(
-            jobs.size(), kFleetGrain,
-            [&](std::size_t chunk) {
-              const RackSpec& spec = config_.racks[placed_rack[chunk]];
-              return core::PipelinePool::global().checkout(
-                  spec.approach, spec.cell_size_m,
-                  core::SolveCache::global());
-            },
-            [&](core::PipelinePool::Lease& pipeline, std::size_t j) {
-              const std::size_t r = placed_rack[j];
-              pipeline->server().set_operating_point(
-                  {.water_flow_kg_h = design_flow_kg_h[r],
-                   .water_inlet_c = rack_cooling[r].supply_temp_c});
-              return pipeline->server().simulate(
-                  *jobs[j].bench, scans[j].decision.point.config,
-                  scans[j].decision.cores, scans[j].decision.idle_state);
-            });
-
-    // Assemble the interval.
-    FleetInterval interval;
-    interval.interval = b;
-    interval.start_s = start_s;
-    interval.duration_s = duration_s;
-    interval.racks.resize(config_.racks.size());
-    for (std::size_t r = 0; r < config_.racks.size(); ++r) {
-      interval.racks[r].cooling = rack_cooling[r];
-    }
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-      const std::size_t r = placed_rack[j];
-      JobOutcome outcome;
-      outcome.stream = jobs[j].stream;
-      outcome.benchmark = jobs[j].bench->name;
-      outcome.qos_factor = jobs[j].qos.factor;
-      outcome.rack = r;
-      outcome.decision = scans[j].decision;
-      outcome.package_power_w = at_setpoint[j].total_power_w;
-      outcome.max_supply_temp_c = scans[j].max_supply_temp_c;
-      outcome.die_max_c = at_setpoint[j].die.max_c;
-      outcome.tcase_c = at_setpoint[j].tcase_c;
-      outcome.tcase_limit_exceeded =
-          scans[j].infeasible ||
-          at_setpoint[j].tcase_c > config_.racks[r].tcase_limit_c;
-      if (outcome.tcase_limit_exceeded) ++interval.qos_violations;
-
-      RackInterval& rack = interval.racks[r];
-      ++rack.jobs;
-      rack.it_power_w += outcome.package_power_w;
-      rack.headroom_c =
-          rack.jobs == 1
-              ? config_.racks[r].tcase_limit_c - outcome.tcase_c
-              : std::min(rack.headroom_c,
-                         config_.racks[r].tcase_limit_c - outcome.tcase_c);
-      interval.jobs.push_back(std::move(outcome));
-    }
-    for (std::size_t r = 0; r < config_.racks.size(); ++r) {
-      interval.it_power_w += interval.racks[r].it_power_w;
-      interval.chiller_power_w += interval.racks[r].cooling.chiller_electrical_w;
-      loads[r].headroom_c = interval.racks[r].headroom_c;
-    }
-
-    cooling::FacilityPower facility;
-    facility.it_w = interval.it_power_w;
-    facility.chiller_w = interval.chiller_power_w;
-    facility.distribution_w = cooling::distribution_loss_w(
-        interval.it_power_w, config_.distribution_loss_fraction);
-    interval.pue = cooling::pue(facility);
-
-    result.total_it_energy_j += interval.it_power_w * duration_s;
-    result.total_chiller_energy_j += interval.chiller_power_w * duration_s;
-    result.total_facility_energy_j += facility.total_w() * duration_s;
-    result.qos_violations += interval.qos_violations;
-    result.intervals.push_back(std::move(interval));
-  }
-
-  TPCOOL_ENSURE(result.total_it_energy_j > 0.0,
-                "fleet ran no work (all streams empty?)");
-  result.avg_pue = result.total_facility_energy_j / result.total_it_energy_j;
-  return result;
+  // The engine owns the entire interval computation (it is the one code
+  // path for batch and streaming); aggregating its stream rebuilds the
+  // batch result bit-for-bit.
+  StreamingFleetEngine engine(config_, streams);
+  FleetResultAggregator aggregator;
+  engine.add_observer(aggregator);
+  engine.run();
+  return aggregator.take();
 }
 
 std::vector<double> fleet_interval_boundaries(
@@ -294,7 +85,9 @@ std::vector<double> fleet_interval_boundaries(
 }
 
 std::uint64_t fleet_digest(const FleetResult& result) {
-  std::uint64_t digest = 1469598103934665603ULL;
+  using util::fnv_f64;
+  using util::fnv_u64;
+  std::uint64_t digest = util::kFnvOffsetBasis;
   fnv_u64(digest, result.intervals.size());
   for (const FleetInterval& interval : result.intervals) {
     fnv_f64(digest, interval.start_s);

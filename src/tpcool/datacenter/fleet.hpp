@@ -102,6 +102,12 @@ struct FleetResult {
   std::size_t qos_violations = 0;        ///< Sum over intervals.
 };
 
+/// Validate a `FleetConfig` (nonempty racks, positive server counts and
+/// cell sizes, nonempty supply-candidate lists, a registered placement
+/// policy).  Throws PreconditionError on the first violation.  Shared by
+/// `FleetModel` and `StreamingFleetEngine` so both fail identically.
+void validate_fleet_config(const FleetConfig& config);
+
 /// N racks, one placement policy, trace-driven.
 ///
 /// `run` plays a set of workload streams (one `WorkloadTrace` per job
@@ -113,6 +119,10 @@ struct FleetResult {
 /// server that is infeasible at every supply candidate does not throw: it
 /// runs pinned at the coldest candidate and counts a QoS violation, so a
 /// fleet sweep survives hot traces and reports them instead of dying.
+///
+/// `run` is a thin wrapper over `StreamingFleetEngine` (streaming.hpp)
+/// with the `FleetResultAggregator` observer — batch and streaming runs
+/// are one code path and bitwise identical by construction.
 class FleetModel {
  public:
   explicit FleetModel(FleetConfig config);

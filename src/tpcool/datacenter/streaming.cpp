@@ -1,0 +1,636 @@
+#include "tpcool/datacenter/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "tpcool/cooling/pue.hpp"
+#include "tpcool/core/parallel.hpp"
+#include "tpcool/core/pipeline_pool.hpp"
+#include "tpcool/core/solve_cache.hpp"
+#include "tpcool/util/error.hpp"
+#include "tpcool/workload/benchmark.hpp"
+
+namespace tpcool::datacenter {
+
+namespace {
+
+/// One job per chunk: every (rack, server) slot schedules and scans
+/// independently, exactly like the rack coordinator (and exactly like the
+/// batch FleetModel before it was rebuilt on this engine).
+constexpr std::size_t kFleetGrain = 1;
+
+/// Phase-1 outcome of one job: the schedule and the supply-temperature
+/// scan against its rack's candidates.
+struct ScanOutcome {
+  core::ScheduleDecision decision;
+  double max_supply_temp_c = 0.0;
+  double demand_power_w = 0.0;  ///< Package power at the scan's endpoint.
+  bool infeasible = false;      ///< No candidate kept TCASE within limit.
+};
+
+}  // namespace
+
+// ------------------------------------------------------------- the engine --
+
+StreamingFleetEngine::StreamingFleetEngine(
+    FleetConfig config, std::vector<workload::WorkloadTrace> streams)
+    : config_(std::move(config)), streams_(std::move(streams)) {
+  validate_fleet_config(config_);
+  TPCOOL_REQUIRE(!streams_.empty(), "fleet run needs at least one stream");
+
+  boundaries_ = fleet_interval_boundaries(streams_);
+  policy_ = make_placement_policy(config_.placement);
+
+  // Per-rack dispatch state; headroom carries across intervals.
+  loads_.resize(config_.racks.size());
+  for (std::size_t r = 0; r < config_.racks.size(); ++r) {
+    loads_[r] = {r, config_.racks[r].servers, 0, 0.0, kIdleHeadroomC};
+  }
+
+  // Per-rack design water flow (the §VI-C operating point of the rack's
+  // approach), fixed over the run like in the rack coordinator.
+  design_flow_kg_h_.resize(config_.racks.size());
+  for (std::size_t r = 0; r < config_.racks.size(); ++r) {
+    design_flow_kg_h_[r] =
+        core::server_config_for(config_.racks[r].approach,
+                                config_.racks[r].cell_size_m)
+            .operating_point.water_flow_kg_h;
+  }
+
+  summary_.duration_s = boundaries_.back();
+}
+
+void StreamingFleetEngine::add_observer(FleetObserver& observer) {
+  TPCOOL_REQUIRE(!begun_, "observers must be registered before the run");
+  observers_.push_back(&observer);
+}
+
+const FleetRunSummary& StreamingFleetEngine::summary() const {
+  TPCOOL_REQUIRE(finished_ && !failed_,
+                 "summary is only valid after the run finishes cleanly");
+  return summary_;
+}
+
+bool StreamingFleetEngine::advance() {
+  if (finished_) return false;
+  if (!begun_) {
+    begun_ = true;
+    try {
+      for (FleetObserver* observer : observers_) {
+        observer->on_run_begin(config_, streams_.size(), boundaries_.back());
+      }
+    } catch (...) {
+      finished_ = true;  // observer contract: a throw spends the engine
+      failed_ = true;
+      throw;
+    }
+  }
+
+  if (next_interval_ + 1 >= boundaries_.size()) {
+    // Timeline drained: finalize and dispatch the end-of-run summary.
+    TPCOOL_ENSURE(summary_.total_it_energy_j > 0.0,
+                  "fleet ran no work (all streams empty?)");
+    summary_.avg_pue =
+        summary_.total_facility_energy_j / summary_.total_it_energy_j;
+    summary_.intervals = next_interval_;
+    finished_ = true;
+    for (FleetObserver* observer : observers_) {
+      observer->on_run_end(summary_);
+    }
+    return false;
+  }
+
+  const std::size_t b = next_interval_;
+  const double start_s = boundaries_[b];
+  const double duration_s = boundaries_[b + 1] - boundaries_[b];
+
+  const core::SolveCache::Stats cache_before =
+      core::SolveCache::global()->stats();
+
+  // Arrivals: every still-active stream contributes its current phase.
+  std::vector<JobRequest> jobs;
+  for (std::size_t s = 0; s < streams_.size(); ++s) {
+    if (start_s >= streams_[s].total_duration_s()) continue;  // stream done
+    const workload::TracePhase& phase = streams_[s].phase_at(start_s);
+    JobRequest job;
+    job.stream = s;
+    job.bench = &workload::find_benchmark(phase.benchmark);
+    job.qos = phase.qos;
+    job.est_power_w = job_power_estimate(*job.bench, job.qos);
+    jobs.push_back(job);
+  }
+  std::size_t capacity = 0;
+  for (const RackSpec& rack : config_.racks) capacity += rack.servers;
+  TPCOOL_REQUIRE(jobs.size() <= capacity,
+                 "fleet over capacity: " + std::to_string(jobs.size()) +
+                     " active streams vs " + std::to_string(capacity) +
+                     " servers");
+
+  // Dispatch in stream order (the arrival order): deterministic, serial.
+  for (RackLoad& load : loads_) {
+    load.assigned = 0;
+    load.est_power_w = 0.0;
+  }
+  std::vector<std::size_t> placed_rack(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const std::size_t rack = policy_->select_rack(jobs[j], loads_);
+    TPCOOL_REQUIRE(rack < loads_.size() && !loads_[rack].full(),
+                   "placement policy chose an invalid rack");
+    placed_rack[j] = rack;
+    ++loads_[rack].assigned;
+    loads_[rack].est_power_w += jobs[j].est_power_w;
+  }
+
+  // Phase 1, parallel over all jobs of all racks: schedule, then scan the
+  // rack's supply candidates for the highest feasible temperature.  The
+  // fan-out is joined here — observers never run concurrently with it.
+  // Infeasibility does not throw: the server pins to the coldest
+  // candidate and is flagged.
+  const std::vector<ScanOutcome> scans = core::parallel_map<ScanOutcome>(
+      jobs.size(), kFleetGrain,
+      [&](std::size_t chunk) {
+        const RackSpec& spec = config_.racks[placed_rack[chunk]];
+        return core::PipelinePool::global().checkout(
+            spec.approach, spec.cell_size_m, core::SolveCache::global());
+      },
+      [&](core::PipelinePool::Lease& pipeline, std::size_t j) {
+        const RackSpec& spec = config_.racks[placed_rack[j]];
+        core::ServerModel& server = pipeline->server();
+        ScanOutcome scan;
+        scan.decision =
+            pipeline->scheduler().schedule(*jobs[j].bench, jobs[j].qos);
+        for (const double t_w : spec.supply_candidates_c) {
+          server.set_operating_point(
+              {.water_flow_kg_h = design_flow_kg_h_[placed_rack[j]],
+               .water_inlet_c = t_w});
+          const core::SimulationResult sim = server.simulate(
+              *jobs[j].bench, scan.decision.point.config, scan.decision.cores,
+              scan.decision.idle_state);
+          scan.max_supply_temp_c = t_w;
+          scan.demand_power_w = sim.total_power_w;
+          if (sim.tcase_c <= spec.tcase_limit_c) return scan;
+        }
+        scan.infeasible = true;  // runs pinned at the coldest candidate
+        return scan;
+      });
+
+  // Shared loop per rack: setpoint = min over its servers' maxima.
+  std::vector<cooling::RackCoolingState> rack_cooling(config_.racks.size());
+  for (std::size_t r = 0; r < config_.racks.size(); ++r) {
+    std::vector<cooling::ServerDemand> demands;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (placed_rack[j] != r) continue;
+      demands.push_back({scans[j].demand_power_w, scans[j].max_supply_temp_c,
+                         design_flow_kg_h_[r]});
+    }
+    if (!demands.empty()) {
+      rack_cooling[r] =
+          cooling::solve_rack_cooling(demands, config_.racks[r].chiller);
+    }
+  }
+
+  // Phase 2, parallel again: every server at its rack's shared setpoint.
+  const std::vector<core::SimulationResult> at_setpoint =
+      core::parallel_map<core::SimulationResult>(
+          jobs.size(), kFleetGrain,
+          [&](std::size_t chunk) {
+            const RackSpec& spec = config_.racks[placed_rack[chunk]];
+            return core::PipelinePool::global().checkout(
+                spec.approach, spec.cell_size_m, core::SolveCache::global());
+          },
+          [&](core::PipelinePool::Lease& pipeline, std::size_t j) {
+            const std::size_t r = placed_rack[j];
+            pipeline->server().set_operating_point(
+                {.water_flow_kg_h = design_flow_kg_h_[r],
+                 .water_inlet_c = rack_cooling[r].supply_temp_c});
+            return pipeline->server().simulate(
+                *jobs[j].bench, scans[j].decision.point.config,
+                scans[j].decision.cores, scans[j].decision.idle_state);
+          });
+
+  // Assemble the interval.  This is the only FleetInterval the engine ever
+  // holds (kMaxHeldIntervals); it dies when the last observer returns.
+  peak_held_intervals_ = std::max<std::size_t>(peak_held_intervals_, 1);
+  FleetInterval interval;
+  interval.interval = b;
+  interval.start_s = start_s;
+  interval.duration_s = duration_s;
+  interval.racks.resize(config_.racks.size());
+  for (std::size_t r = 0; r < config_.racks.size(); ++r) {
+    interval.racks[r].cooling = rack_cooling[r];
+  }
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const std::size_t r = placed_rack[j];
+    JobOutcome outcome;
+    outcome.stream = jobs[j].stream;
+    outcome.benchmark = jobs[j].bench->name;
+    outcome.qos_factor = jobs[j].qos.factor;
+    outcome.rack = r;
+    outcome.decision = scans[j].decision;
+    outcome.package_power_w = at_setpoint[j].total_power_w;
+    outcome.max_supply_temp_c = scans[j].max_supply_temp_c;
+    outcome.die_max_c = at_setpoint[j].die.max_c;
+    outcome.tcase_c = at_setpoint[j].tcase_c;
+    outcome.tcase_limit_exceeded =
+        scans[j].infeasible ||
+        at_setpoint[j].tcase_c > config_.racks[r].tcase_limit_c;
+    if (outcome.tcase_limit_exceeded) ++interval.qos_violations;
+
+    RackInterval& rack = interval.racks[r];
+    ++rack.jobs;
+    rack.it_power_w += outcome.package_power_w;
+    rack.headroom_c =
+        rack.jobs == 1
+            ? config_.racks[r].tcase_limit_c - outcome.tcase_c
+            : std::min(rack.headroom_c,
+                       config_.racks[r].tcase_limit_c - outcome.tcase_c);
+    interval.jobs.push_back(std::move(outcome));
+  }
+  for (std::size_t r = 0; r < config_.racks.size(); ++r) {
+    interval.it_power_w += interval.racks[r].it_power_w;
+    interval.chiller_power_w += interval.racks[r].cooling.chiller_electrical_w;
+    loads_[r].headroom_c = interval.racks[r].headroom_c;
+  }
+
+  cooling::FacilityPower facility;
+  facility.it_w = interval.it_power_w;
+  facility.chiller_w = interval.chiller_power_w;
+  facility.distribution_w = cooling::distribution_loss_w(
+      interval.it_power_w, config_.distribution_loss_fraction);
+  interval.pue = cooling::pue(facility);
+
+  // Accumulate the run totals in interval order — the same arithmetic, in
+  // the same order, as the batch accumulation always used.
+  summary_.total_it_energy_j += interval.it_power_w * duration_s;
+  summary_.total_chiller_energy_j += interval.chiller_power_w * duration_s;
+  summary_.total_facility_energy_j += facility.total_w() * duration_s;
+  summary_.qos_violations += interval.qos_violations;
+
+  const core::SolveCache::Stats cache_after =
+      core::SolveCache::global()->stats();
+  const IntervalCounters counters{cache_after.misses - cache_before.misses,
+                                  cache_after.hits - cache_before.hits};
+  summary_.counters.solves += counters.solves;
+  summary_.counters.hits += counters.hits;
+
+  // Dispatch on the caller's thread, in registration order, strictly after
+  // the interval's parallel fan-out joined.
+  try {
+    for (FleetObserver* observer : observers_) {
+      observer->on_interval(interval, counters);
+    }
+  } catch (...) {
+    finished_ = true;  // observer contract: a throw spends the engine
+    failed_ = true;
+    throw;
+  }
+
+  ++next_interval_;
+  return true;
+}
+
+void StreamingFleetEngine::run() {
+  while (advance()) {
+  }
+}
+
+// --------------------------------------------------------- the aggregator --
+
+void FleetResultAggregator::on_interval(const FleetInterval& interval,
+                                        const IntervalCounters& counters) {
+  (void)counters;
+  result_.intervals.push_back(interval);
+}
+
+void FleetResultAggregator::on_run_end(const FleetRunSummary& summary) {
+  result_.duration_s = summary.duration_s;
+  result_.total_it_energy_j = summary.total_it_energy_j;
+  result_.total_chiller_energy_j = summary.total_chiller_energy_j;
+  result_.total_facility_energy_j = summary.total_facility_energy_j;
+  result_.avg_pue = summary.avg_pue;
+  result_.qos_violations = summary.qos_violations;
+}
+
+// --------------------------------------------------------- the JSONL sink --
+
+namespace {
+
+/// 17 significant digits round-trip any finite IEEE double exactly through
+/// a correctly-rounded strtod, so replays reconstruct the original bits.
+void json_number(std::ostream& os, double value) {
+  os << std::setprecision(17) << value;
+}
+
+}  // namespace
+
+JsonlFleetSink::JsonlFleetSink(std::ostream& os) : os_(&os) {}
+
+JsonlFleetSink::JsonlFleetSink(const std::string& path)
+    : owned_(path), os_(&owned_) {
+  TPCOOL_REQUIRE(static_cast<bool>(owned_),
+                 "cannot open JSONL sink file '" + path + "'");
+}
+
+void JsonlFleetSink::on_run_begin(const FleetConfig& config,
+                                  std::size_t stream_count,
+                                  double total_duration_s) {
+  std::ostream& os = *os_;
+  os << "{\"type\":\"header\",\"schema\":\"tpcool-fleet-stream-v1\""
+     << ",\"racks\":" << config.racks.size()
+     << ",\"streams\":" << stream_count << ",\"placement\":\""
+     << config.placement << "\",\"duration_s\":";
+  json_number(os, total_duration_s);
+  os << "}\n";
+}
+
+void JsonlFleetSink::on_interval(const FleetInterval& interval,
+                                 const IntervalCounters& counters) {
+  std::ostream& os = *os_;
+  os << "{\"type\":\"interval\",\"interval\":" << interval.interval
+     << ",\"start_s\":";
+  json_number(os, interval.start_s);
+  os << ",\"duration_s\":";
+  json_number(os, interval.duration_s);
+  os << ",\"it_power_w\":";
+  json_number(os, interval.it_power_w);
+  os << ",\"chiller_power_w\":";
+  json_number(os, interval.chiller_power_w);
+  os << ",\"pue\":";
+  json_number(os, interval.pue);
+  os << ",\"qos_violations\":" << interval.qos_violations
+     << ",\"solves\":" << counters.solves << ",\"hits\":" << counters.hits
+     << ",\"jobs\":[";
+  for (std::size_t j = 0; j < interval.jobs.size(); ++j) {
+    const JobOutcome& job = interval.jobs[j];
+    os << (j ? "," : "") << "{\"stream\":" << job.stream << ",\"rack\":"
+       << job.rack << ",\"benchmark\":\"" << job.benchmark
+       << "\",\"qos_factor\":";
+    json_number(os, job.qos_factor);
+    os << ",\"package_power_w\":";
+    json_number(os, job.package_power_w);
+    os << ",\"max_supply_temp_c\":";
+    json_number(os, job.max_supply_temp_c);
+    os << ",\"die_max_c\":";
+    json_number(os, job.die_max_c);
+    os << ",\"tcase_c\":";
+    json_number(os, job.tcase_c);
+    os << ",\"limit\":" << (job.tcase_limit_exceeded ? "true" : "false")
+       << "}";
+  }
+  os << "],\"racks\":[";
+  for (std::size_t r = 0; r < interval.racks.size(); ++r) {
+    const RackInterval& rack = interval.racks[r];
+    os << (r ? "," : "") << "{\"jobs\":" << rack.jobs << ",\"it_power_w\":";
+    json_number(os, rack.it_power_w);
+    os << ",\"headroom_c\":";
+    json_number(os, rack.headroom_c);
+    os << ",\"supply_temp_c\":";
+    json_number(os, rack.cooling.supply_temp_c);
+    os << ",\"return_temp_c\":";
+    json_number(os, rack.cooling.return_temp_c);
+    os << ",\"chiller_electrical_w\":";
+    json_number(os, rack.cooling.chiller_electrical_w);
+    os << "}";
+  }
+  os << "]}\n";
+}
+
+void JsonlFleetSink::on_run_end(const FleetRunSummary& summary) {
+  std::ostream& os = *os_;
+  os << "{\"type\":\"summary\",\"intervals\":" << summary.intervals
+     << ",\"duration_s\":";
+  json_number(os, summary.duration_s);
+  os << ",\"total_it_energy_j\":";
+  json_number(os, summary.total_it_energy_j);
+  os << ",\"total_chiller_energy_j\":";
+  json_number(os, summary.total_chiller_energy_j);
+  os << ",\"total_facility_energy_j\":";
+  json_number(os, summary.total_facility_energy_j);
+  os << ",\"avg_pue\":";
+  json_number(os, summary.avg_pue);
+  os << ",\"qos_violations\":" << summary.qos_violations
+     << ",\"solves\":" << summary.counters.solves
+     << ",\"hits\":" << summary.counters.hits << "}\n";
+  os.flush();
+}
+
+// -------------------------------------------------------------- the replay --
+
+namespace {
+
+/// Minimal extraction helpers for the sink's own single-line records (the
+/// writer never emits whitespace, escapes, or nested arrays inside the
+/// jobs/racks objects, so positional scanning is exact).
+
+std::string_view find_value(std::string_view text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = text.find(needle);
+  TPCOOL_REQUIRE(pos != std::string_view::npos,
+                 "fleet JSONL replay: missing key '" + key + "'");
+  return text.substr(pos + needle.size());
+}
+
+double get_number(std::string_view text, const std::string& key) {
+  const std::string_view tail = find_value(text, key);
+  return std::strtod(std::string(tail.substr(0, 32)).c_str(), nullptr);
+}
+
+std::size_t get_count(std::string_view text, const std::string& key) {
+  return static_cast<std::size_t>(get_number(text, key));
+}
+
+bool get_bool(std::string_view text, const std::string& key) {
+  return find_value(text, key).substr(0, 4) == "true";
+}
+
+std::string get_string(std::string_view text, const std::string& key) {
+  std::string_view tail = find_value(text, key);
+  TPCOOL_REQUIRE(!tail.empty() && tail.front() == '"',
+                 "fleet JSONL replay: key '" + key + "' is not a string");
+  tail.remove_prefix(1);
+  const std::size_t end = tail.find('"');
+  TPCOOL_REQUIRE(end != std::string_view::npos,
+                 "fleet JSONL replay: unterminated string for '" + key + "'");
+  return std::string(tail.substr(0, end));
+}
+
+/// The `[...]` payload of an array-valued key.  The sink's arrays contain
+/// flat objects only, so the first ']' closes the array.
+std::string_view get_array(std::string_view text, const std::string& key) {
+  std::string_view tail = find_value(text, key);
+  TPCOOL_REQUIRE(!tail.empty() && tail.front() == '[',
+                 "fleet JSONL replay: key '" + key + "' is not an array");
+  tail.remove_prefix(1);
+  const std::size_t end = tail.find(']');
+  TPCOOL_REQUIRE(end != std::string_view::npos,
+                 "fleet JSONL replay: unterminated array for '" + key + "'");
+  return tail.substr(0, end);
+}
+
+/// Split a flat `{...},{...}` array payload into its objects.
+std::vector<std::string_view> split_objects(std::string_view array) {
+  std::vector<std::string_view> objects;
+  std::size_t pos = 0;
+  while ((pos = array.find('{', pos)) != std::string_view::npos) {
+    const std::size_t end = array.find('}', pos);
+    TPCOOL_REQUIRE(end != std::string_view::npos,
+                   "fleet JSONL replay: unterminated object");
+    objects.push_back(array.substr(pos, end - pos + 1));
+    pos = end + 1;
+  }
+  return objects;
+}
+
+}  // namespace
+
+FleetResult replay_fleet_jsonl(std::istream& is) {
+  FleetResult result;
+  bool saw_header = false;
+  bool saw_summary = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::string_view text(line);
+    const std::string type = get_string(text, "type");
+    if (type == "header") {
+      TPCOOL_REQUIRE(get_string(text, "schema") == "tpcool-fleet-stream-v1",
+                     "fleet JSONL replay: unexpected schema");
+      saw_header = true;
+    } else if (type == "interval") {
+      TPCOOL_REQUIRE(saw_header,
+                     "fleet JSONL replay: interval before header");
+      FleetInterval interval;
+      interval.interval = get_count(text, "interval");
+      interval.start_s = get_number(text, "start_s");
+      interval.duration_s = get_number(text, "duration_s");
+      interval.it_power_w = get_number(text, "it_power_w");
+      interval.chiller_power_w = get_number(text, "chiller_power_w");
+      interval.pue = get_number(text, "pue");
+      interval.qos_violations = get_count(text, "qos_violations");
+      for (const std::string_view object :
+           split_objects(get_array(text, "jobs"))) {
+        JobOutcome job;
+        job.stream = get_count(object, "stream");
+        job.rack = get_count(object, "rack");
+        job.benchmark = get_string(object, "benchmark");
+        job.qos_factor = get_number(object, "qos_factor");
+        job.package_power_w = get_number(object, "package_power_w");
+        job.max_supply_temp_c = get_number(object, "max_supply_temp_c");
+        job.die_max_c = get_number(object, "die_max_c");
+        job.tcase_c = get_number(object, "tcase_c");
+        job.tcase_limit_exceeded = get_bool(object, "limit");
+        interval.jobs.push_back(std::move(job));
+      }
+      for (const std::string_view object :
+           split_objects(get_array(text, "racks"))) {
+        RackInterval rack;
+        rack.jobs = get_count(object, "jobs");
+        rack.it_power_w = get_number(object, "it_power_w");
+        rack.headroom_c = get_number(object, "headroom_c");
+        rack.cooling.supply_temp_c = get_number(object, "supply_temp_c");
+        rack.cooling.return_temp_c = get_number(object, "return_temp_c");
+        rack.cooling.chiller_electrical_w =
+            get_number(object, "chiller_electrical_w");
+        interval.racks.push_back(rack);
+      }
+      result.intervals.push_back(std::move(interval));
+    } else if (type == "summary") {
+      result.duration_s = get_number(text, "duration_s");
+      result.total_it_energy_j = get_number(text, "total_it_energy_j");
+      result.total_chiller_energy_j =
+          get_number(text, "total_chiller_energy_j");
+      result.total_facility_energy_j =
+          get_number(text, "total_facility_energy_j");
+      result.avg_pue = get_number(text, "avg_pue");
+      result.qos_violations = get_count(text, "qos_violations");
+      TPCOOL_REQUIRE(get_count(text, "intervals") == result.intervals.size(),
+                     "fleet JSONL replay: interval count mismatch");
+      saw_summary = true;
+    } else {
+      TPCOOL_REQUIRE(false, "fleet JSONL replay: unknown record type '" +
+                                type + "'");
+    }
+  }
+  TPCOOL_REQUIRE(saw_header && saw_summary,
+                 "fleet JSONL replay: stream is missing header or summary");
+  return result;
+}
+
+FleetResult replay_fleet_jsonl(const std::string& path) {
+  std::ifstream is(path);
+  TPCOOL_REQUIRE(static_cast<bool>(is),
+                 "cannot open fleet JSONL file '" + path + "'");
+  return replay_fleet_jsonl(is);
+}
+
+// ------------------------------------------------------------- the reducer --
+
+FleetRollupReducer::FleetRollupReducer(double window_s)
+    : window_s_(window_s) {
+  TPCOOL_REQUIRE(window_s_ > 0.0, "rollup window must be positive");
+}
+
+void FleetRollupReducer::flush() {
+  if (!open_) return;
+  if (current_.duration_s > 0.0) {
+    current_.it_power_w_mean = weighted_it_ / current_.duration_s;
+    current_.chiller_power_w_mean = weighted_chiller_ / current_.duration_s;
+    current_.pue_mean = weighted_pue_ / current_.duration_s;
+  }
+  rollups_.push_back(current_);
+  open_ = false;
+  weighted_it_ = weighted_chiller_ = weighted_pue_ = 0.0;
+}
+
+void FleetRollupReducer::on_interval(const FleetInterval& interval,
+                                     const IntervalCounters& counters) {
+  // Intervals belong to the window containing their start time; windows
+  // are aligned to multiples of window_s.
+  const double window_start =
+      std::floor(interval.start_s / window_s_) * window_s_;
+  if (open_ && window_start > current_.start_s) flush();
+  if (!open_) {
+    open_ = true;
+    current_ = Rollup{};
+    current_.first_interval = interval.interval;
+    current_.start_s = window_start;
+    current_.it_power_w_min = interval.it_power_w;
+    current_.it_power_w_max = interval.it_power_w;
+    current_.chiller_power_w_min = interval.chiller_power_w;
+    current_.chiller_power_w_max = interval.chiller_power_w;
+    current_.pue_min = interval.pue;
+    current_.pue_max = interval.pue;
+  }
+  ++current_.intervals;
+  current_.duration_s += interval.duration_s;
+  current_.it_power_w_min =
+      std::min(current_.it_power_w_min, interval.it_power_w);
+  current_.it_power_w_max =
+      std::max(current_.it_power_w_max, interval.it_power_w);
+  current_.chiller_power_w_min =
+      std::min(current_.chiller_power_w_min, interval.chiller_power_w);
+  current_.chiller_power_w_max =
+      std::max(current_.chiller_power_w_max, interval.chiller_power_w);
+  current_.pue_min = std::min(current_.pue_min, interval.pue);
+  current_.pue_max = std::max(current_.pue_max, interval.pue);
+  current_.qos_violations += interval.qos_violations;
+  current_.solves += counters.solves;
+  weighted_it_ += interval.it_power_w * interval.duration_s;
+  weighted_chiller_ += interval.chiller_power_w * interval.duration_s;
+  weighted_pue_ += interval.pue * interval.duration_s;
+}
+
+void FleetRollupReducer::on_run_end(const FleetRunSummary& summary) {
+  (void)summary;
+  flush();
+}
+
+}  // namespace tpcool::datacenter

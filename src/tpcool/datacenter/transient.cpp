@@ -1,7 +1,6 @@
 #include "tpcool/datacenter/transient.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 #include <string>
 #include <unordered_map>
@@ -14,6 +13,7 @@
 #include "tpcool/floorplan/power_map.hpp"
 #include "tpcool/thermal/metrics.hpp"
 #include "tpcool/util/error.hpp"
+#include "tpcool/util/fnv.hpp"
 
 namespace tpcool::datacenter {
 
@@ -60,17 +60,6 @@ struct SegmentTask {
   std::vector<double> initial_field_c;  ///< Stream state entering the interval.
   std::string cache_key;
 };
-
-void fnv_u64(std::uint64_t& digest, std::uint64_t value) {
-  for (int shift = 0; shift < 64; shift += 8) {
-    digest ^= (value >> shift) & 0xFF;
-    digest *= 1099511628211ULL;
-  }
-}
-
-void fnv_f64(std::uint64_t& digest, double value) {
-  fnv_u64(digest, std::bit_cast<std::uint64_t>(value));
-}
 
 /// Integrate one transient segment on a leased pipeline.  A pure function
 /// of (pipeline config, task, engine config): the boundary and power map
@@ -324,6 +313,8 @@ TransientFleetResult TransientFleetEngine::run(
 }
 
 std::uint64_t transient_digest(const TransientFleetResult& result) {
+  using util::fnv_f64;
+  using util::fnv_u64;
   std::uint64_t digest = fleet_digest(result.steady);
   fnv_u64(digest, result.intervals.size());
   for (const TransientInterval& interval : result.intervals) {

@@ -1,0 +1,275 @@
+#include "tpcool/datacenter/workload_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+#include "tpcool/util/error.hpp"
+#include "tpcool/util/fnv.hpp"
+#include "tpcool/workload/benchmark.hpp"
+
+namespace tpcool::datacenter {
+
+namespace {
+
+/// splitmix64 (Steele/Lea/Flood): the whole generator's randomness.  Fully
+/// specified integer arithmetic — unlike `<random>` distributions, whose
+/// output is implementation-defined — so the same seed produces the same
+/// traces on every standard library.
+struct SplitMix64 {
+  std::uint64_t state = 0;
+
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+};
+
+/// Independent sub-streams of one seed: mix a domain tag in through one
+/// splitmix step so stream i's randomness never overlaps the shared
+/// sequences' or stream j's.
+std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t tag) {
+  SplitMix64 rng{seed ^ (0x632BE59BD9B4E019ULL * (tag + 1))};
+  return rng.next();
+}
+
+constexpr std::uint64_t kSharedNoiseTag = 0x01;
+constexpr std::uint64_t kBurstTag = 0x02;
+constexpr std::uint64_t kStreamTagBase = 0x100;
+
+/// Geometric phase/burst length with mean `mean_slots` (p = 1/mean), in
+/// whole slots, capped at `cap`.  Sampled by Bernoulli trials — no
+/// `std::log`, so the result is identical on every libm.
+std::size_t sample_geometric_slots(SplitMix64& rng, double mean_slots,
+                                   std::size_t cap) {
+  const double p = 1.0 / mean_slots;
+  std::size_t length = 1;
+  while (length < cap && rng.uniform() >= p) ++length;
+  return length;
+}
+
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+}  // namespace
+
+std::size_t WorkloadGenConfig::total_slots() const {
+  // ceil(duration / slot) with an epsilon so exact multiples (86400 / 900)
+  // do not round up to an extra slot from FP division error.
+  return static_cast<std::size_t>(
+      std::ceil(duration_s / slot_s - 1.0e-9));
+}
+
+std::vector<QoSTier> default_qos_tiers() {
+  // Interactive tier dominates the daytime peak, batch fills the night;
+  // the mixed tier is always present.  Benchmarks split by character:
+  // interactive = latency-critical high-power profiles, batch =
+  // memory-bound throughput profiles (see workload/benchmark.cpp).
+  return {
+      {workload::QoSRequirement{1.0},
+       {"x264", "facesim", "ferret", "raytrace"},
+       0.10,
+       0.65},
+      {workload::QoSRequirement{2.0},
+       {"vips", "bodytrack", "fluidanimate", "freqmine", "dedup"},
+       0.30,
+       0.25},
+      {workload::QoSRequirement{3.0},
+       {"streamcluster", "canneal", "blackscholes", "swaptions"},
+       0.60,
+       0.10},
+  };
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadGenConfig config)
+    : config_(std::move(config)) {
+  if (config_.tiers.empty()) config_.tiers = default_qos_tiers();
+
+  TPCOOL_REQUIRE(config_.streams >= 1, "generator needs at least one stream");
+  TPCOOL_REQUIRE(config_.slot_s > 0.0, "slot length must be positive");
+  TPCOOL_REQUIRE(config_.duration_s > 0.0, "duration must be positive");
+  TPCOOL_REQUIRE(config_.total_slots() >= 1, "duration shorter than one slot");
+  TPCOOL_REQUIRE(config_.mean_phase_slots >= 1.0,
+                 "mean phase length below one slot");
+  TPCOOL_REQUIRE(config_.correlation >= 0.0 && config_.correlation <= 1.0,
+                 "correlation must be in [0, 1]");
+  TPCOOL_REQUIRE(config_.noise >= 0.0, "noise amplitude must be >= 0");
+  TPCOOL_REQUIRE(config_.diurnal.peak_hour >= 0.0 &&
+                     config_.diurnal.peak_hour < 24.0,
+                 "peak hour must be in [0, 24)");
+  TPCOOL_REQUIRE(config_.bursts.rate_per_day >= 0.0,
+                 "burst rate must be >= 0");
+  TPCOOL_REQUIRE(config_.bursts.mean_duration_slots >= 1.0,
+                 "burst duration below one slot");
+  TPCOOL_REQUIRE(config_.bursts.intensity_boost >= 0.0,
+                 "burst boost must be >= 0");
+  double weight_low_sum = 0.0;
+  double weight_high_sum = 0.0;
+  for (const QoSTier& tier : config_.tiers) {
+    TPCOOL_REQUIRE(tier.qos.factor >= 1.0, "tier QoS factor below 1x");
+    TPCOOL_REQUIRE(!tier.benchmarks.empty(), "tier needs benchmarks");
+    for (const std::string& name : tier.benchmarks) {
+      (void)workload::find_benchmark(name);  // validates the name
+    }
+    TPCOOL_REQUIRE(tier.weight_low >= 0.0 && tier.weight_high >= 0.0,
+                   "tier weights must be >= 0");
+    weight_low_sum += tier.weight_low;
+    weight_high_sum += tier.weight_high;
+  }
+  TPCOOL_REQUIRE(weight_low_sum > 0.0 && weight_high_sum > 0.0,
+                 "QoS mix must have positive total weight at every intensity");
+
+  const std::size_t slots = config_.total_slots();
+
+  // Fleet-shared per-slot noise: every stream mixes this sequence in with
+  // weight `correlation`, which is what correlates their load.
+  SplitMix64 noise_rng{substream_seed(config_.seed, kSharedNoiseTag)};
+  shared_noise_.resize(slots);
+  for (double& n : shared_noise_) n = noise_rng.uniform() - 0.5;
+
+  // Fleet-wide burst timeline: Bernoulli arrivals per slot (the discrete
+  // approximation of a Poisson process with the configured daily rate),
+  // geometric durations, overlapping bursts merge.
+  SplitMix64 burst_rng{substream_seed(config_.seed, kBurstTag)};
+  burst_slots_.assign(slots, false);
+  const double p_start =
+      std::min(1.0, config_.bursts.rate_per_day * config_.slot_s / 86400.0);
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    if (burst_rng.uniform() >= p_start) continue;
+    const std::size_t length = sample_geometric_slots(
+        burst_rng, config_.bursts.mean_duration_slots, slots - slot);
+    for (std::size_t b = slot; b < slot + length; ++b) burst_slots_[b] = true;
+  }
+}
+
+double WorkloadGenerator::fleet_intensity(std::size_t slot) const {
+  TPCOOL_REQUIRE(slot < config_.total_slots(), "slot out of range");
+  const double hour =
+      std::fmod(static_cast<double>(slot) * config_.slot_s / 3600.0, 24.0);
+  const double phase =
+      2.0 * std::numbers::pi * (hour - config_.diurnal.peak_hour) / 24.0;
+  double intensity =
+      config_.diurnal.base + config_.diurnal.amplitude * std::cos(phase);
+  intensity += config_.noise * config_.correlation * shared_noise_[slot];
+  if (burst_slots_[slot]) intensity += config_.bursts.intensity_boost;
+  return intensity;
+}
+
+bool WorkloadGenerator::burst_active(std::size_t slot) const {
+  TPCOOL_REQUIRE(slot < config_.total_slots(), "slot out of range");
+  return burst_slots_[slot];
+}
+
+workload::WorkloadTrace WorkloadGenerator::stream(std::size_t index) const {
+  TPCOOL_REQUIRE(index < config_.streams, "stream index out of range");
+  SplitMix64 rng{substream_seed(config_.seed, kStreamTagBase + index)};
+
+  const std::size_t slots = config_.total_slots();
+  std::vector<workload::TracePhase> phases;
+  phases.reserve(slots / static_cast<std::size_t>(config_.mean_phase_slots) +
+                 2);
+
+  std::size_t slot = 0;
+  while (slot < slots) {
+    const std::size_t length =
+        sample_geometric_slots(rng, config_.mean_phase_slots, slots - slot);
+
+    // Intensity at the phase start decides this phase's tier/benchmark:
+    // fleet-shared part (diurnal + correlated noise + bursts) plus the
+    // stream's own idiosyncratic noise.
+    const double own = rng.uniform() - 0.5;
+    const double intensity = clamp01(
+        fleet_intensity(slot) +
+        config_.noise * (1.0 - config_.correlation) * own);
+
+    // Tier weights interpolate between the low- and high-intensity mixes.
+    double total_weight = 0.0;
+    for (const QoSTier& tier : config_.tiers) {
+      total_weight +=
+          tier.weight_low + intensity * (tier.weight_high - tier.weight_low);
+    }
+    double pick = rng.uniform() * total_weight;
+    const QoSTier* chosen = &config_.tiers.back();
+    for (const QoSTier& tier : config_.tiers) {
+      const double w =
+          tier.weight_low + intensity * (tier.weight_high - tier.weight_low);
+      if (pick < w) {
+        chosen = &tier;
+        break;
+      }
+      pick -= w;
+    }
+
+    const std::size_t bench_index = std::min(
+        chosen->benchmarks.size() - 1,
+        static_cast<std::size_t>(rng.uniform() *
+                                 static_cast<double>(
+                                     chosen->benchmarks.size())));
+
+    // Durations are integer slot multiples, so cumulative phase sums are
+    // exact doubles shared across streams (no ULP sliver intervals).
+    phases.push_back({chosen->benchmarks[bench_index], chosen->qos,
+                      static_cast<double>(length) * config_.slot_s});
+    slot += length;
+  }
+  return workload::WorkloadTrace(std::move(phases));
+}
+
+std::vector<workload::WorkloadTrace> WorkloadGenerator::generate() const {
+  std::vector<workload::WorkloadTrace> streams;
+  streams.reserve(config_.streams);
+  for (std::size_t s = 0; s < config_.streams; ++s) {
+    streams.push_back(stream(s));
+  }
+  return streams;
+}
+
+std::uint64_t trace_digest(const workload::WorkloadTrace& trace) {
+  std::uint64_t digest = util::kFnvOffsetBasis;
+  util::fnv_u64(digest, trace.phase_count());
+  for (const workload::TracePhase& phase : trace.phases()) {
+    util::fnv_string(digest, phase.benchmark);
+    util::fnv_f64(digest, phase.qos.factor);
+    util::fnv_f64(digest, phase.duration_s);
+  }
+  return digest;
+}
+
+std::uint64_t streams_digest(
+    const std::vector<workload::WorkloadTrace>& streams) {
+  std::uint64_t digest = util::kFnvOffsetBasis;
+  util::fnv_u64(digest, streams.size());
+  for (const workload::WorkloadTrace& stream : streams) {
+    util::fnv_u64(digest, trace_digest(stream));
+  }
+  return digest;
+}
+
+WorkloadGenConfig diurnal_fleet_day(std::uint64_t seed, std::size_t streams) {
+  WorkloadGenConfig config;
+  config.seed = seed;
+  config.streams = streams;
+  config.duration_s = 86400.0;
+  config.slot_s = 900.0;  // 96 slots
+  config.mean_phase_slots = 4.0;
+  return config;
+}
+
+WorkloadGenConfig diurnal_fleet_week(std::uint64_t seed,
+                                     std::size_t streams) {
+  WorkloadGenConfig config;
+  config.seed = seed;
+  config.streams = streams;
+  config.duration_s = 7.0 * 86400.0;
+  config.slot_s = 1800.0;  // 336 slots
+  config.mean_phase_slots = 4.0;
+  config.bursts.rate_per_day = 1.5;
+  return config;
+}
+
+}  // namespace tpcool::datacenter

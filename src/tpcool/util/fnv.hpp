@@ -1,0 +1,52 @@
+#pragma once
+/// \file fnv.hpp
+/// \brief Order-sensitive FNV-1a digest helpers over exact bit patterns.
+///
+/// The determinism layers certify bit-identical results by hashing every
+/// numeric field of a result structure in a fixed order: equal digests ⇒
+/// equal bits.  `fleet_digest`, `transient_digest`, the workload-generator
+/// trace digests, and the streaming-equivalence checks all share these
+/// helpers — doubles are hashed as their exact `std::bit_cast` bit
+/// patterns, never through any rounding or formatting, so a single-ULP
+/// divergence flips the digest.
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace tpcool::util {
+
+/// FNV-1a offset basis: the digest accumulator's start value.
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+
+/// FNV-1a 64-bit prime.
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Fold one byte into the digest.
+inline void fnv_byte(std::uint64_t& digest, std::uint8_t byte) {
+  digest ^= byte;
+  digest *= kFnvPrime;
+}
+
+/// Fold a 64-bit value into the digest, least-significant byte first.
+inline void fnv_u64(std::uint64_t& digest, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    fnv_byte(digest, static_cast<std::uint8_t>((value >> shift) & 0xFF));
+  }
+}
+
+/// Fold a double's exact bit pattern into the digest.
+inline void fnv_f64(std::uint64_t& digest, double value) {
+  fnv_u64(digest, std::bit_cast<std::uint64_t>(value));
+}
+
+/// Fold a byte string (e.g. a benchmark name) into the digest, including
+/// its length so concatenations cannot collide ("ab"+"c" vs "a"+"bc").
+inline void fnv_string(std::uint64_t& digest, std::string_view text) {
+  fnv_u64(digest, text.size());
+  for (const char c : text) {
+    fnv_byte(digest, static_cast<std::uint8_t>(c));
+  }
+}
+
+}  // namespace tpcool::util

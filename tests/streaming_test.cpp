@@ -1,0 +1,374 @@
+// Tests for the streaming scenario layer: workload-generator determinism
+// (same seed => bit-identical traces at every thread count, distinct seeds
+// differ, phases stay on the slot grid), the StreamingFleetEngine observer
+// contract (ordering, registration order, spent-after-throw, bounded
+// interval memory), batch == streaming bit-identity at 1/2/4 threads, and
+// exact JSONL round trips (replay reconstructs the batch FleetResult's
+// digest bit for bit).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tpcool/core/pipeline_pool.hpp"
+#include "tpcool/core/solve_cache.hpp"
+#include "tpcool/datacenter/fleet.hpp"
+#include "tpcool/datacenter/streaming.hpp"
+#include "tpcool/datacenter/workload_gen.hpp"
+#include "tpcool/util/error.hpp"
+#include "tpcool/util/thread_pool.hpp"
+
+namespace tpcool::datacenter {
+namespace {
+
+// Coarse grid: these tests assert streaming semantics, not physics.
+constexpr double kCell = 2.0e-3;
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    util::ThreadPool::set_global_thread_count(0);
+    core::SolveCache::global()->clear();
+    core::PipelinePool::global().clear();
+  }
+};
+
+/// A short generated scenario the fleet tests can run quickly: 3 streams
+/// over 6 fifteen-minute slots.
+WorkloadGenConfig short_scenario(std::uint64_t seed) {
+  WorkloadGenConfig config;
+  config.seed = seed;
+  config.streams = 3;
+  config.duration_s = 6.0 * 900.0;
+  config.slot_s = 900.0;
+  config.mean_phase_slots = 2.0;
+  return config;
+}
+
+// ------------------------------------------------------ workload generator --
+
+TEST(WorkloadGenerator, SameSeedIsBitIdenticalAcrossThreadCounts) {
+  const std::uint64_t reference =
+      streams_digest(WorkloadGenerator(diurnal_fleet_day(42, 4)).generate());
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    util::ThreadPool::set_global_thread_count(threads);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(
+        streams_digest(WorkloadGenerator(diurnal_fleet_day(42, 4)).generate()),
+        reference);
+  }
+  util::ThreadPool::set_global_thread_count(0);
+}
+
+TEST(WorkloadGenerator, DistinctSeedsProduceDistinctTraces) {
+  const std::uint64_t a =
+      streams_digest(WorkloadGenerator(diurnal_fleet_day(1, 4)).generate());
+  const std::uint64_t b =
+      streams_digest(WorkloadGenerator(diurnal_fleet_day(2, 4)).generate());
+  EXPECT_NE(a, b);
+}
+
+TEST(WorkloadGenerator, StreamsAreIndependentOfGenerationOrder) {
+  // stream(i) is a pure function of (config, i): generating stream 2 alone
+  // equals stream 2 of the full set.
+  const WorkloadGenerator gen(diurnal_fleet_day(7, 4));
+  const std::vector<workload::WorkloadTrace> all = gen.generate();
+  EXPECT_EQ(trace_digest(gen.stream(2)), trace_digest(all[2]));
+  EXPECT_NE(trace_digest(all[0]), trace_digest(all[1]));  // not one trace x N
+}
+
+TEST(WorkloadGenerator, PhasesStayOnTheSlotGridAndCoverTheDuration) {
+  const WorkloadGenerator gen(diurnal_fleet_day(3, 2));
+  const double slot = gen.config().slot_s;
+  for (const workload::WorkloadTrace& trace : gen.generate()) {
+    double total = 0.0;
+    for (const workload::TracePhase& phase : trace.phases()) {
+      const double slots = phase.duration_s / slot;
+      EXPECT_EQ(slots, std::floor(slots));  // integer slot multiples
+      total += phase.duration_s;
+    }
+    EXPECT_DOUBLE_EQ(total, gen.config().duration_s);
+  }
+  // Slot-grid boundaries collapse across streams: the fleet timeline is
+  // bounded by the slot count, not streams x phases.
+  const std::vector<double> boundaries =
+      fleet_interval_boundaries(gen.generate());
+  EXPECT_LE(boundaries.size(), gen.config().total_slots() + 1);
+}
+
+TEST(WorkloadGenerator, ValidatesItsConfig) {
+  WorkloadGenConfig no_streams;
+  no_streams.streams = 0;
+  EXPECT_THROW(WorkloadGenerator(std::move(no_streams)),
+               util::PreconditionError);
+  WorkloadGenConfig zero_slot;
+  zero_slot.slot_s = 0.0;
+  EXPECT_THROW(WorkloadGenerator(std::move(zero_slot)),
+               util::PreconditionError);
+  WorkloadGenConfig bad_correlation;
+  bad_correlation.correlation = 1.5;
+  EXPECT_THROW(WorkloadGenerator(std::move(bad_correlation)),
+               util::PreconditionError);
+  WorkloadGenConfig bad_bench;
+  bad_bench.tiers = {{workload::QoSRequirement{2.0}, {"no-such-bench"}}};
+  EXPECT_THROW(WorkloadGenerator(std::move(bad_bench)),
+               util::PreconditionError);
+  WorkloadGenConfig zero_weights;
+  zero_weights.tiers = {{workload::QoSRequirement{2.0}, {"x264"}, 0.0, 0.0}};
+  EXPECT_THROW(WorkloadGenerator(std::move(zero_weights)),
+               util::PreconditionError);
+}
+
+TEST(WorkloadGenerator, QoSMixShiftsInteractiveTowardTheDiurnalPeak) {
+  // Statistical, not physical: with the default tiers, 1x-QoS phases are
+  // weighted 6.5x more at full intensity than at zero, so a full day must
+  // place more interactive time near the peak than deep off-peak.
+  const WorkloadGenerator gen(diurnal_fleet_day(11, 8));
+  double interactive_s = 0.0;
+  double batch_s = 0.0;
+  for (const workload::WorkloadTrace& trace : gen.generate()) {
+    for (const workload::TracePhase& phase : trace.phases()) {
+      if (phase.qos.factor == 1.0) interactive_s += phase.duration_s;
+      if (phase.qos.factor == 3.0) batch_s += phase.duration_s;
+    }
+  }
+  EXPECT_GT(interactive_s, 0.0);
+  EXPECT_GT(batch_s, 0.0);
+}
+
+// ------------------------------------------------------- observer contract --
+
+/// Records the callback sequence as a string of events.
+class SequenceObserver final : public FleetObserver {
+ public:
+  explicit SequenceObserver(std::string tag, std::vector<std::string>& log)
+      : tag_(std::move(tag)), log_(&log) {}
+
+  void on_run_begin(const FleetConfig& config, std::size_t stream_count,
+                    double total_duration_s) override {
+    (void)config;
+    (void)stream_count;
+    (void)total_duration_s;
+    log_->push_back(tag_ + ":begin");
+  }
+  void on_interval(const FleetInterval& interval,
+                   const IntervalCounters& counters) override {
+    (void)counters;
+    log_->push_back(tag_ + ":interval" + std::to_string(interval.interval));
+  }
+  void on_run_end(const FleetRunSummary& summary) override {
+    (void)summary;
+    log_->push_back(tag_ + ":end");
+  }
+
+ private:
+  std::string tag_;
+  std::vector<std::string>* log_;
+};
+
+class ThrowingObserver final : public FleetObserver {
+ public:
+  void on_interval(const FleetInterval& interval,
+                   const IntervalCounters& counters) override {
+    (void)counters;
+    if (interval.interval == 1) throw std::runtime_error("sink failed");
+  }
+};
+
+TEST_F(StreamingTest, ObserversSeeEveryIntervalInOrderInRegistrationOrder) {
+  const std::vector<workload::WorkloadTrace> streams =
+      WorkloadGenerator(short_scenario(5)).generate();
+  std::vector<std::string> log;
+  SequenceObserver first("a", log);
+  SequenceObserver second("b", log);
+
+  StreamingFleetEngine engine(make_heterogeneous_fleet(2, 2, kCell), streams);
+  engine.add_observer(first);
+  engine.add_observer(second);
+  engine.run();
+
+  ASSERT_TRUE(engine.finished());
+  const std::size_t n = engine.intervals_emitted();
+  ASSERT_GE(n, 2u);
+  ASSERT_EQ(log.size(), 2 * (n + 2));
+  // begin first, end last, and within every event both observers fire in
+  // registration order.
+  EXPECT_EQ(log[0], "a:begin");
+  EXPECT_EQ(log[1], "b:begin");
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(log[2 + 2 * i], "a:interval" + std::to_string(i));
+    EXPECT_EQ(log[3 + 2 * i], "b:interval" + std::to_string(i));
+  }
+  EXPECT_EQ(log[log.size() - 2], "a:end");
+  EXPECT_EQ(log[log.size() - 1], "b:end");
+
+  // The bounded-memory contract, observed at run time.
+  EXPECT_LE(engine.peak_held_intervals(),
+            StreamingFleetEngine::kMaxHeldIntervals);
+}
+
+TEST_F(StreamingTest, AdvanceEmitsOneIntervalAtATime) {
+  const std::vector<workload::WorkloadTrace> streams =
+      WorkloadGenerator(short_scenario(5)).generate();
+  StreamingFleetEngine engine(make_heterogeneous_fleet(2, 2, kCell), streams);
+  FleetResultAggregator aggregator;
+  engine.add_observer(aggregator);
+
+  std::size_t steps = 0;
+  while (engine.advance()) {
+    ++steps;
+    EXPECT_EQ(engine.intervals_emitted(), steps);
+    EXPECT_FALSE(engine.finished());
+  }
+  EXPECT_TRUE(engine.finished());
+  EXPECT_EQ(aggregator.result().intervals.size(), steps);
+  EXPECT_FALSE(engine.advance());  // stays spent
+  EXPECT_EQ(engine.summary().intervals, steps);
+}
+
+TEST_F(StreamingTest, ObserverThrowSpendsTheEngine) {
+  const std::vector<workload::WorkloadTrace> streams =
+      WorkloadGenerator(short_scenario(5)).generate();
+  StreamingFleetEngine engine(make_heterogeneous_fleet(2, 2, kCell), streams);
+  ThrowingObserver sink;
+  engine.add_observer(sink);
+  EXPECT_THROW(engine.run(), std::runtime_error);
+  EXPECT_TRUE(engine.finished());
+  EXPECT_FALSE(engine.advance());  // no later intervals are dispatched
+  EXPECT_THROW((void)engine.summary(), util::PreconditionError);
+}
+
+TEST_F(StreamingTest, ObserversMustRegisterBeforeTheRun) {
+  const std::vector<workload::WorkloadTrace> streams =
+      WorkloadGenerator(short_scenario(5)).generate();
+  StreamingFleetEngine engine(make_heterogeneous_fleet(2, 2, kCell), streams);
+  FleetResultAggregator aggregator;
+  engine.add_observer(aggregator);
+  ASSERT_TRUE(engine.advance());
+  FleetResultAggregator late;
+  EXPECT_THROW(engine.add_observer(late), util::PreconditionError);
+}
+
+// ------------------------------------------------- batch == streaming bits --
+
+TEST_F(StreamingTest, StreamingEqualsBatchBitwiseAtOneTwoFourThreads) {
+  const FleetConfig config = make_heterogeneous_fleet(2, 2, kCell);
+  const std::vector<workload::WorkloadTrace> streams =
+      WorkloadGenerator(short_scenario(9)).generate();
+
+  util::ThreadPool::set_global_thread_count(1);
+  core::SolveCache::global()->clear();
+  const FleetResult reference = FleetModel(config).run(streams);
+  const std::uint64_t reference_digest = fleet_digest(reference);
+
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    util::ThreadPool::set_global_thread_count(threads);
+    core::SolveCache::global()->clear();  // recompute, don't replay bits
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+
+    StreamingFleetEngine engine(config, streams);
+    FleetResultAggregator aggregator;
+    engine.add_observer(aggregator);
+    engine.run();
+    EXPECT_EQ(fleet_digest(aggregator.result()), reference_digest);
+
+    // The engine's summary carries the same totals as the batch result.
+    const FleetRunSummary& summary = engine.summary();
+    EXPECT_EQ(summary.total_it_energy_j, reference.total_it_energy_j);
+    EXPECT_EQ(summary.avg_pue, reference.avg_pue);
+    EXPECT_EQ(summary.qos_violations, reference.qos_violations);
+    EXPECT_EQ(summary.intervals, reference.intervals.size());
+    EXPECT_GT(summary.counters.solves + summary.counters.hits, 0u);
+  }
+}
+
+// ------------------------------------------------------------- JSONL sink --
+
+TEST_F(StreamingTest, JsonlReplayReconstructsTheBatchResultExactly) {
+  const FleetConfig config = make_heterogeneous_fleet(2, 2, kCell);
+  const std::vector<workload::WorkloadTrace> streams =
+      WorkloadGenerator(short_scenario(13)).generate();
+
+  std::ostringstream jsonl;
+  StreamingFleetEngine engine(config, streams);
+  FleetResultAggregator aggregator;
+  JsonlFleetSink sink(jsonl);
+  engine.add_observer(aggregator);
+  engine.add_observer(sink);
+  engine.run();
+
+  std::istringstream replay_stream(jsonl.str());
+  const FleetResult replayed = replay_fleet_jsonl(replay_stream);
+  // Every digest-covered field round-trips bit for bit through the 17
+  // significant digit JSONL encoding.
+  EXPECT_EQ(fleet_digest(replayed), fleet_digest(aggregator.result()));
+  ASSERT_EQ(replayed.intervals.size(), aggregator.result().intervals.size());
+  EXPECT_EQ(replayed.intervals[0].jobs[0].benchmark,
+            aggregator.result().intervals[0].jobs[0].benchmark);
+}
+
+TEST_F(StreamingTest, JsonlFileSinkRoundTripsThroughDisk) {
+  const FleetConfig config = make_heterogeneous_fleet(2, 2, kCell);
+  const std::vector<workload::WorkloadTrace> streams =
+      WorkloadGenerator(short_scenario(13)).generate();
+  const std::string path = ::testing::TempDir() + "tpcool_fleet_stream.jsonl";
+
+  StreamingFleetEngine engine(config, streams);
+  FleetResultAggregator aggregator;
+  JsonlFleetSink sink(path);
+  engine.add_observer(aggregator);
+  engine.add_observer(sink);
+  engine.run();
+
+  const FleetResult replayed = replay_fleet_jsonl(path);
+  EXPECT_EQ(fleet_digest(replayed), fleet_digest(aggregator.result()));
+  std::remove(path.c_str());
+
+  EXPECT_THROW((void)replay_fleet_jsonl("/no/such/file.jsonl"),
+               util::PreconditionError);
+  std::istringstream garbage("{\"type\":\"interval\"}\n");
+  EXPECT_THROW((void)replay_fleet_jsonl(garbage), util::PreconditionError);
+}
+
+// ---------------------------------------------------------- rollup reducer --
+
+TEST_F(StreamingTest, RollupWindowsPartitionTheRunAndBoundTheExtremes) {
+  const FleetConfig config = make_heterogeneous_fleet(2, 2, kCell);
+  const std::vector<workload::WorkloadTrace> streams =
+      WorkloadGenerator(short_scenario(17)).generate();
+
+  StreamingFleetEngine engine(config, streams);
+  FleetResultAggregator aggregator;
+  FleetRollupReducer rollup(2.0 * 900.0);  // two slots per window
+  engine.add_observer(aggregator);
+  engine.add_observer(rollup);
+  engine.run();
+
+  const FleetResult& result = aggregator.result();
+  ASSERT_FALSE(rollup.rollups().empty());
+  std::size_t intervals = 0;
+  double duration = 0.0;
+  std::size_t violations = 0;
+  for (const FleetRollupReducer::Rollup& window : rollup.rollups()) {
+    intervals += window.intervals;
+    duration += window.duration_s;
+    violations += window.qos_violations;
+    EXPECT_LE(window.it_power_w_min, window.it_power_w_mean);
+    EXPECT_LE(window.it_power_w_mean, window.it_power_w_max);
+    EXPECT_LE(window.pue_min, window.pue_mean);
+    EXPECT_LE(window.pue_mean, window.pue_max);
+  }
+  EXPECT_EQ(intervals, result.intervals.size());
+  EXPECT_DOUBLE_EQ(duration, result.duration_s);
+  EXPECT_EQ(violations, result.qos_violations);
+
+  EXPECT_THROW(FleetRollupReducer(0.0), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tpcool::datacenter
