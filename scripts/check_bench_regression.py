@@ -22,6 +22,11 @@ Both files must carry the same schema, one of:
     interval count ("steps"; cache hits and the engine's peak
     held-interval count are informational — the bench itself fails hard
     when peak_held exceeds the documented bound)
+  - tpcool-control-bench-v1     (control_scaling --json): per case
+    solve_ms + coupled-solve count ("iterations") + emitted fleet
+    interval count ("steps"; cache hits are informational — the bench
+    itself fails hard on a cross-thread digest divergence or a
+    controlled run outside the PUE acceptance band)
 
 A case regresses when any compared metric exceeds the baseline by more
 than --max-regress (relative).  Iteration/solve/hit counts are
@@ -43,7 +48,7 @@ import sys
 
 KNOWN_SCHEMAS = ("tpcool-solver-bench-v1", "tpcool-experiment-bench-v1",
                  "tpcool-datacenter-bench-v1", "tpcool-transient-bench-v1",
-                 "tpcool-streaming-bench-v1")
+                 "tpcool-streaming-bench-v1", "tpcool-control-bench-v1")
 
 # Metrics compared per schema; a metric missing from either file is skipped.
 # "hits" is emitted for information only: a lost cache hit already shows up

@@ -10,12 +10,22 @@ RackCoolingState solve_rack_cooling(const std::vector<ServerDemand>& demands,
                                     const ChillerModel& chiller,
                                     double max_setpoint_c) {
   TPCOOL_REQUIRE(!demands.empty(), "rack has no servers");
+  double setpoint_c = max_setpoint_c;
+  for (const ServerDemand& d : demands) {
+    setpoint_c = std::min(setpoint_c, d.max_supply_temp_c);
+  }
+  return solve_rack_cooling_at(demands, chiller, setpoint_c);
+}
+
+RackCoolingState solve_rack_cooling_at(const std::vector<ServerDemand>& demands,
+                                       const ChillerModel& chiller,
+                                       double setpoint_c) {
+  TPCOOL_REQUIRE(!demands.empty(), "rack has no servers");
   RackCoolingState state;
 
-  state.supply_temp_c = max_setpoint_c;
+  state.supply_temp_c = setpoint_c;
   for (const ServerDemand& d : demands) {
     TPCOOL_REQUIRE(d.flow_kg_h > 0.0, "server branch needs positive flow");
-    state.supply_temp_c = std::min(state.supply_temp_c, d.max_supply_temp_c);
   }
 
   std::vector<CoolantBranch> branches;

@@ -28,11 +28,24 @@ struct RackCoolingState {
   double chiller_electrical_w = 0.0;  ///< COP-model electrical power.
 };
 
+/// The default ceiling on a rack's shared water setpoint.
+inline constexpr double kDefaultMaxSetpointC = 45.0;
+
 /// Compute the shared-loop state for a set of server demands.
 /// The supply setpoint is the minimum of the per-server maxima (every
 /// thermosyphon must stay feasible), never above `max_setpoint_c`.
 [[nodiscard]] RackCoolingState solve_rack_cooling(
     const std::vector<ServerDemand>& demands, const ChillerModel& chiller,
-    double max_setpoint_c = 45.0);
+    double max_setpoint_c = kDefaultMaxSetpointC);
+
+/// Compute the shared-loop state at a *forced* setpoint (a fleet
+/// controller's biased operating point).  Same downstream arithmetic as
+/// `solve_rack_cooling` — forcing the natural setpoint reproduces its
+/// result bit for bit.  The caller owns feasibility: a setpoint above a
+/// server's `max_supply_temp_c` is accepted and simply runs that server
+/// hot (the fleet layer counts the violation).
+[[nodiscard]] RackCoolingState solve_rack_cooling_at(
+    const std::vector<ServerDemand>& demands, const ChillerModel& chiller,
+    double setpoint_c);
 
 }  // namespace tpcool::cooling

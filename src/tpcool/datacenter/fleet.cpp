@@ -18,6 +18,16 @@ void validate_fleet_config(const FleetConfig& config) {
                    "rack needs supply-temperature candidates");
     TPCOOL_REQUIRE(rack.cell_size_m > 0.0, "cell size must be positive");
   }
+  for (const FleetEvent& event : config.events) {
+    TPCOOL_REQUIRE(event.rack < config.racks.size(),
+                   "fleet event targets an unknown rack");
+    TPCOOL_REQUIRE(event.time_s >= 0.0,
+                   "fleet event time must be nonnegative");
+    if (event.kind == FleetEventKind::kChillerDerate) {
+      TPCOOL_REQUIRE(event.factor > 0.0 && event.factor <= 1.0,
+                     "chiller derate factor must be in (0, 1]");
+    }
+  }
   // Validate the policy name at construction, not first run.
   (void)make_placement_policy(config.placement);
 }
@@ -114,12 +124,27 @@ std::uint64_t fleet_digest(const FleetResult& result) {
       fnv_f64(digest, rack.cooling.return_temp_c);
       fnv_f64(digest, rack.cooling.chiller_electrical_w);
     }
+    // Controller-off intervals fold a bare 0, so uncontrolled digests are
+    // a pure function of the physics fields (v1 replays keep matching).
+    fnv_u64(digest, interval.control.active ? 1 : 0);
+    if (interval.control.active) {
+      fnv_f64(digest, interval.control.target);
+      fnv_f64(digest, interval.control.error);
+      for (const double bias : interval.control.rack_bias_c) {
+        fnv_f64(digest, bias);
+      }
+    }
+    fnv_u64(digest, interval.shed_streams.size());
+    for (const std::size_t stream : interval.shed_streams) {
+      fnv_u64(digest, stream);
+    }
   }
   fnv_f64(digest, result.total_it_energy_j);
   fnv_f64(digest, result.total_chiller_energy_j);
   fnv_f64(digest, result.total_facility_energy_j);
   fnv_f64(digest, result.avg_pue);
   fnv_u64(digest, result.qos_violations);
+  fnv_u64(digest, result.shed_jobs);
   return digest;
 }
 

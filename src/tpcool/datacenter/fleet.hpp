@@ -42,6 +42,29 @@ struct RackSpec {
   cooling::ChillerModel chiller;
 };
 
+/// Kinds of scheduled mid-run fleet disturbances (the fault-injection
+/// scenario surface: chiller outage / derating, rack-loss failover).
+enum class FleetEventKind {
+  kChillerDerate,   ///< Scale the rack chiller's second-law efficiency.
+  kChillerRestore,  ///< Restore the rack's chiller to its spec.
+  kRackLoss,        ///< Rack capacity drops to zero (jobs fail over).
+  kRackRestore,     ///< Rack capacity restored to its spec.
+};
+
+/// One scheduled disturbance.  Takes effect at the first interval whose
+/// start time is >= `time_s` and stays in force until a matching restore
+/// event (events are applied in time order; same-time events apply in
+/// config order).  Deterministic by construction: events depend only on
+/// the simulated clock, never on wall time or thread count.
+struct FleetEvent {
+  double time_s = 0.0;
+  std::size_t rack = 0;
+  FleetEventKind kind = FleetEventKind::kChillerDerate;
+  /// kChillerDerate only: multiplier in (0, 1] on the chiller's
+  /// second-law efficiency (0.6 = the chiller runs at 60% efficiency).
+  double factor = 1.0;
+};
+
 /// Fleet construction parameters.
 struct FleetConfig {
   std::vector<RackSpec> racks;
@@ -49,6 +72,14 @@ struct FleetConfig {
   std::string placement = "round-robin";
   /// UPS/PDU conversion-loss fraction for the PUE accounting.
   double distribution_loss_fraction = 0.03;
+  /// Scheduled mid-run disturbances, applied by the engine in time order.
+  std::vector<FleetEvent> events;
+  /// Flash-crowd admission control: when true, an over-capacity interval
+  /// sheds its lowest-priority excess jobs (highest QoS factor first, ties
+  /// to the highest stream index) instead of throwing; shed jobs count as
+  /// QoS violations and are recorded in `FleetInterval::shed_streams`.
+  /// Default false preserves the historical over-capacity throw.
+  bool shed_overload = false;
 };
 
 /// Outcome of one job (one stream's phase) over one interval.
@@ -77,18 +108,34 @@ struct RackInterval {
   cooling::RackCoolingState cooling;   ///< Zeroed when the rack is idle.
 };
 
+/// Fleet-controller state stamped on the interval it acted on: the target
+/// being tracked, the windowed control error that produced these biases,
+/// and the applied (quantized) per-rack supply bias.  Inactive (all zeros)
+/// when no controller is attached — see control.hpp.
+struct FleetControlState {
+  bool active = false;
+  double target = 0.0;
+  double error = 0.0;
+  std::vector<double> rack_bias_c;   ///< Index-aligned with config racks.
+};
+
 /// One interval of the fleet timeline (a maximal span on which every
 /// stream's phase is constant).
 struct FleetInterval {
   std::size_t interval = 0;
   double start_s = 0.0;
   double duration_s = 0.0;
-  std::vector<JobOutcome> jobs;      ///< In stream order.
+  std::vector<JobOutcome> jobs;      ///< In stream order (shed jobs absent).
   std::vector<RackInterval> racks;   ///< Index-aligned with config racks.
   double it_power_w = 0.0;
   double chiller_power_w = 0.0;      ///< Sum of rack chiller electrical.
   double pue = 1.0;                  ///< cooling::pue over this interval.
-  std::size_t qos_violations = 0;    ///< Jobs with tcase_limit_exceeded.
+  /// Jobs with tcase_limit_exceeded, plus jobs shed by admission control.
+  std::size_t qos_violations = 0;
+  /// Streams shed this interval (ascending; empty unless
+  /// `FleetConfig::shed_overload` fired).
+  std::vector<std::size_t> shed_streams;
+  FleetControlState control;         ///< Controller state (if attached).
 };
 
 /// Full fleet timeline outcome.
@@ -99,7 +146,8 @@ struct FleetResult {
   double total_chiller_energy_j = 0.0;
   double total_facility_energy_j = 0.0;  ///< IT + chiller + distribution.
   double avg_pue = 1.0;                  ///< Energy-weighted fleet PUE.
-  std::size_t qos_violations = 0;        ///< Sum over intervals.
+  std::size_t qos_violations = 0;        ///< Sum over intervals (incl. shed).
+  std::size_t shed_jobs = 0;             ///< Jobs shed by admission control.
 };
 
 /// Validate a `FleetConfig` (nonempty racks, positive server counts and

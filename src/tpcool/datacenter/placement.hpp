@@ -12,8 +12,11 @@
 
 #include "tpcool/workload/benchmark.hpp"
 #include "tpcool/workload/configuration.hpp"
+#include "tpcool/workload/trace.hpp"
 
 namespace tpcool::datacenter {
+
+struct FleetConfig;  // fleet.hpp (which includes this header)
 
 /// Everything a policy may consult about one candidate rack at dispatch
 /// time.  Estimates and headrooms are deterministic functions of the fleet
@@ -34,6 +37,17 @@ struct RackLoad {
 
 /// Headroom reported for a rack with no thermal history yet.
 inline constexpr double kIdleHeadroomC = 1.0e3;
+
+/// Read-only view of the whole run, handed to lookahead policies before
+/// dispatch starts: the fleet config, the input streams, and the fleet
+/// interval boundaries (the streams' phase-boundary union).  All pointees
+/// are owned by the engine and outlive the policy; greedy policies ignore
+/// it entirely.
+struct PlacementTimeline {
+  const FleetConfig* config = nullptr;
+  const std::vector<workload::WorkloadTrace>* streams = nullptr;
+  const std::vector<double>* boundaries = nullptr;
+};
 
 /// One job awaiting placement: a stream's phase active this interval.
 struct JobRequest {
@@ -63,6 +77,18 @@ class PlacementPolicy {
   virtual ~PlacementPolicy() = default;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called once by the engine before interval 0, with the full run
+  /// timeline.  Lookahead policies precompute here; the default is a
+  /// no-op, so greedy policies (and policies driven outside an engine)
+  /// never depend on it being called.
+  virtual void begin_run(const PlacementTimeline& timeline) {
+    (void)timeline;
+  }
+
+  /// Called by the engine before each interval's dispatch sequence, with
+  /// the interval index on the fleet timeline.  Default no-op.
+  virtual void begin_interval(std::size_t interval) { (void)interval; }
 
   /// Pick a rack for `job`.  `racks` has at least one non-full entry
   /// (FleetModel throws before asking otherwise).  Non-const: may advance
@@ -129,6 +155,51 @@ class ThermalHeadroomPlacement final : public PlacementPolicy {
   }
   [[nodiscard]] std::size_t select_rack(
       const JobRequest& job, const std::vector<RackLoad>& racks) override;
+};
+
+/// MPC-style lookahead placement: scan the next W intervals of the known
+/// workload timeline (`begin_run` precomputes every stream's per-interval
+/// power estimate) and place each job on the rack minimizing the
+/// discounted projected load over the window, scaled by a thermal-deficit
+/// penalty on racks whose previous-interval headroom went negative — so
+/// hot jobs steer away from racks that §V's candidate scan already proved
+/// thermally inadequate for them.  Within one interval the policy
+/// accumulates its own placements' future load, so the W-window cost is
+/// joint across the interval's dispatch sequence, not per-job myopic.
+///
+/// W=1 falls back to exactly the greedy `LeastPowerPlacement` cost
+/// (bitwise-identical placements, pinned in tests/datacenter_test.cpp).
+/// Registry names: `"windowed"` (W = kDefaultWindow) or `"windowed:N"`.
+class WindowedPlacement final : public PlacementPolicy {
+ public:
+  static constexpr std::size_t kDefaultWindow = 4;
+  /// Geometric discount per lookahead interval.
+  static constexpr double kDiscount = 0.5;
+  /// Cost multiplier per °C of thermal deficit (negative headroom).
+  static constexpr double kPenaltyPerDegC = 1.0;
+
+  /// `window` >= 1; `registry_name` is echoed by `name()` so registry
+  /// round trips preserve the exact spelling ("windowed", "windowed:4").
+  WindowedPlacement(std::size_t window, std::string registry_name);
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  void begin_run(const PlacementTimeline& timeline) override;
+  void begin_interval(std::size_t interval) override;
+  [[nodiscard]] std::size_t select_rack(
+      const JobRequest& job, const std::vector<RackLoad>& racks) override;
+
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+
+ private:
+  std::size_t window_;
+  std::string name_;
+  std::size_t interval_ = 0;    ///< Current interval (begin_interval).
+  /// Per-stream estimated power per interval, 0 when inactive
+  /// ([stream][interval]; empty until begin_run).
+  std::vector<std::vector<double>> stream_power_;
+  /// Future load this interval's own placements already committed
+  /// ([rack][lookahead w in 1..window-1]; reset each begin_interval).
+  std::vector<std::vector<double>> projected_;
 };
 
 /// Registry (the `mapping::` policy-registry shape): the policy names the

@@ -12,7 +12,9 @@
 #include <utility>
 
 #include "tpcool/cooling/pue.hpp"
+#include "tpcool/cooling/rack.hpp"
 #include "tpcool/core/parallel.hpp"
+#include "tpcool/datacenter/control.hpp"
 #include "tpcool/core/pipeline_pool.hpp"
 #include "tpcool/core/solve_cache.hpp"
 #include "tpcool/util/error.hpp"
@@ -65,12 +67,35 @@ StreamingFleetEngine::StreamingFleetEngine(
             .operating_point.water_flow_kg_h;
   }
 
+  // Runtime rack state the event timeline mutates.
+  capacity_.resize(config_.racks.size());
+  chiller_.resize(config_.racks.size());
+  for (std::size_t r = 0; r < config_.racks.size(); ++r) {
+    capacity_[r] = config_.racks[r].servers;
+    chiller_[r] = config_.racks[r].chiller;
+  }
+  events_ = config_.events;
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FleetEvent& a, const FleetEvent& b) {
+                     return a.time_s < b.time_s;
+                   });
+
+  // Lookahead policies precompute from the full timeline (the addresses
+  // handed out are the engine's own members, stable for the run).
+  policy_->begin_run({&config_, &streams_, &boundaries_});
+
   summary_.duration_s = boundaries_.back();
 }
 
 void StreamingFleetEngine::add_observer(FleetObserver& observer) {
   TPCOOL_REQUIRE(!begun_, "observers must be registered before the run");
   observers_.push_back(&observer);
+}
+
+void StreamingFleetEngine::set_controller(FleetController& controller) {
+  TPCOOL_REQUIRE(controller_ == nullptr, "engine already has a controller");
+  controller_ = &controller;
+  add_observer(controller);  // also enforces the before-the-run rule
 }
 
 const FleetRunSummary& StreamingFleetEngine::summary() const {
@@ -112,6 +137,29 @@ bool StreamingFleetEngine::advance() {
   const double start_s = boundaries_[b];
   const double duration_s = boundaries_[b + 1] - boundaries_[b];
 
+  // Apply every disturbance due by this interval's start (time order;
+  // same-time events in config order via the stable sort).
+  while (next_event_ < events_.size() &&
+         events_[next_event_].time_s <= start_s) {
+    const FleetEvent& event = events_[next_event_];
+    switch (event.kind) {
+      case FleetEventKind::kChillerDerate:
+        chiller_[event.rack].second_law_eff =
+            config_.racks[event.rack].chiller.second_law_eff * event.factor;
+        break;
+      case FleetEventKind::kChillerRestore:
+        chiller_[event.rack] = config_.racks[event.rack].chiller;
+        break;
+      case FleetEventKind::kRackLoss:
+        capacity_[event.rack] = 0;
+        break;
+      case FleetEventKind::kRackRestore:
+        capacity_[event.rack] = config_.racks[event.rack].servers;
+        break;
+    }
+    ++next_event_;
+  }
+
   const core::SolveCache::Stats cache_before =
       core::SolveCache::global()->stats();
 
@@ -128,17 +176,42 @@ bool StreamingFleetEngine::advance() {
     jobs.push_back(job);
   }
   std::size_t capacity = 0;
-  for (const RackSpec& rack : config_.racks) capacity += rack.servers;
-  TPCOOL_REQUIRE(jobs.size() <= capacity,
-                 "fleet over capacity: " + std::to_string(jobs.size()) +
-                     " active streams vs " + std::to_string(capacity) +
-                     " servers");
+  for (const std::size_t rack_capacity : capacity_) {
+    capacity += rack_capacity;
+  }
+
+  // Over capacity: historically a hard error; with shed_overload the
+  // excess is shed lowest-priority-first (highest QoS factor = loosest
+  // tier, ties to the highest stream index) — deterministic admission
+  // control for flash crowds and rack-loss failover.
+  std::vector<std::size_t> shed_streams;
+  if (jobs.size() > capacity) {
+    TPCOOL_REQUIRE(config_.shed_overload,
+                   "fleet over capacity: " + std::to_string(jobs.size()) +
+                       " active streams vs " + std::to_string(capacity) +
+                       " servers");
+    while (jobs.size() > capacity) {
+      std::size_t worst = 0;
+      for (std::size_t j = 1; j < jobs.size(); ++j) {
+        if (jobs[j].qos.factor > jobs[worst].qos.factor ||
+            (jobs[j].qos.factor == jobs[worst].qos.factor &&
+             jobs[j].stream > jobs[worst].stream)) {
+          worst = j;
+        }
+      }
+      shed_streams.push_back(jobs[worst].stream);
+      jobs.erase(jobs.begin() + static_cast<std::ptrdiff_t>(worst));
+    }
+    std::sort(shed_streams.begin(), shed_streams.end());
+  }
 
   // Dispatch in stream order (the arrival order): deterministic, serial.
-  for (RackLoad& load : loads_) {
-    load.assigned = 0;
-    load.est_power_w = 0.0;
+  for (std::size_t r = 0; r < loads_.size(); ++r) {
+    loads_[r].capacity = capacity_[r];
+    loads_[r].assigned = 0;
+    loads_[r].est_power_w = 0.0;
   }
+  policy_->begin_interval(b);
   std::vector<std::size_t> placed_rack(jobs.size());
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     const std::size_t rack = policy_->select_rack(jobs[j], loads_);
@@ -182,7 +255,21 @@ bool StreamingFleetEngine::advance() {
         return scan;
       });
 
-  // Shared loop per rack: setpoint = min over its servers' maxima.
+  // The controller's actuation for this interval: the biases its state
+  // held after the previous interval (interval 0 runs unbiased).  Queried
+  // once, before the solve, and stamped into the interval below.
+  std::vector<double> bias(config_.racks.size(), 0.0);
+  if (controller_ != nullptr) {
+    for (std::size_t r = 0; r < config_.racks.size(); ++r) {
+      bias[r] = controller_->applied_bias_c(r);
+    }
+  }
+
+  // Shared loop per rack: setpoint = min over its servers' maxima, then
+  // the controller bias (clamped to [coldest candidate, default max]) —
+  // a zero bias takes the exact unbiased path, so zero-gain control is
+  // bit-identical to no control.  The chiller is the event timeline's
+  // current one, not the spec's.
   std::vector<cooling::RackCoolingState> rack_cooling(config_.racks.size());
   for (std::size_t r = 0; r < config_.racks.size(); ++r) {
     std::vector<cooling::ServerDemand> demands;
@@ -192,8 +279,19 @@ bool StreamingFleetEngine::advance() {
                          design_flow_kg_h_[r]});
     }
     if (!demands.empty()) {
+      double setpoint = cooling::kDefaultMaxSetpointC;
+      for (const cooling::ServerDemand& demand : demands) {
+        setpoint = std::min(setpoint, demand.max_supply_temp_c);
+      }
+      if (bias[r] != 0.0) {
+        const double coldest =
+            *std::min_element(config_.racks[r].supply_candidates_c.begin(),
+                              config_.racks[r].supply_candidates_c.end());
+        setpoint = std::min(cooling::kDefaultMaxSetpointC,
+                            std::max(coldest, setpoint + bias[r]));
+      }
       rack_cooling[r] =
-          cooling::solve_rack_cooling(demands, config_.racks[r].chiller);
+          cooling::solve_rack_cooling_at(demands, chiller_[r], setpoint);
     }
   }
 
@@ -260,12 +358,25 @@ bool StreamingFleetEngine::advance() {
     loads_[r].headroom_c = interval.racks[r].headroom_c;
   }
 
+  // Shed jobs are QoS violations too: the tier got no service at all.
+  interval.shed_streams = std::move(shed_streams);
+  interval.qos_violations += interval.shed_streams.size();
+
+  if (controller_ != nullptr) {
+    interval.control.active = true;
+    interval.control.target = controller_->config().target;
+    interval.control.error = controller_->last_error();
+    interval.control.rack_bias_c = std::move(bias);
+  }
+
   cooling::FacilityPower facility;
   facility.it_w = interval.it_power_w;
   facility.chiller_w = interval.chiller_power_w;
   facility.distribution_w = cooling::distribution_loss_w(
       interval.it_power_w, config_.distribution_loss_fraction);
-  interval.pue = cooling::pue(facility);
+  // An all-idle interval (every active stream shed, e.g. total rack loss)
+  // has no IT power; define its PUE as 1 instead of dividing by zero.
+  interval.pue = interval.it_power_w > 0.0 ? cooling::pue(facility) : 1.0;
 
   // Accumulate the run totals in interval order — the same arithmetic, in
   // the same order, as the batch accumulation always used.
@@ -273,6 +384,7 @@ bool StreamingFleetEngine::advance() {
   summary_.total_chiller_energy_j += interval.chiller_power_w * duration_s;
   summary_.total_facility_energy_j += facility.total_w() * duration_s;
   summary_.qos_violations += interval.qos_violations;
+  summary_.shed_jobs += interval.shed_streams.size();
 
   const core::SolveCache::Stats cache_after =
       core::SolveCache::global()->stats();
@@ -317,6 +429,7 @@ void FleetResultAggregator::on_run_end(const FleetRunSummary& summary) {
   result_.total_facility_energy_j = summary.total_facility_energy_j;
   result_.avg_pue = summary.avg_pue;
   result_.qos_violations = summary.qos_violations;
+  result_.shed_jobs = summary.shed_jobs;
 }
 
 // --------------------------------------------------------- the JSONL sink --
@@ -343,7 +456,7 @@ void JsonlFleetSink::on_run_begin(const FleetConfig& config,
                                   std::size_t stream_count,
                                   double total_duration_s) {
   std::ostream& os = *os_;
-  os << "{\"type\":\"header\",\"schema\":\"tpcool-fleet-stream-v1\""
+  os << "{\"type\":\"header\",\"schema\":\"tpcool-fleet-stream-v2\""
      << ",\"racks\":" << config.racks.size()
      << ",\"streams\":" << stream_count << ",\"placement\":\""
      << config.placement << "\",\"duration_s\":";
@@ -367,7 +480,24 @@ void JsonlFleetSink::on_interval(const FleetInterval& interval,
   json_number(os, interval.pue);
   os << ",\"qos_violations\":" << interval.qos_violations
      << ",\"solves\":" << counters.solves << ",\"hits\":" << counters.hits
-     << ",\"jobs\":[";
+     << ",\"shed\":[";
+  for (std::size_t s = 0; s < interval.shed_streams.size(); ++s) {
+    os << (s ? "," : "") << interval.shed_streams[s];
+  }
+  os << "]";
+  if (interval.control.active) {
+    os << ",\"control\":{\"target\":";
+    json_number(os, interval.control.target);
+    os << ",\"error\":";
+    json_number(os, interval.control.error);
+    os << ",\"bias_c\":[";
+    for (std::size_t r = 0; r < interval.control.rack_bias_c.size(); ++r) {
+      if (r) os << ",";
+      json_number(os, interval.control.rack_bias_c[r]);
+    }
+    os << "]}";
+  }
+  os << ",\"jobs\":[";
   for (std::size_t j = 0; j < interval.jobs.size(); ++j) {
     const JobOutcome& job = interval.jobs[j];
     os << (j ? "," : "") << "{\"stream\":" << job.stream << ",\"rack\":"
@@ -417,6 +547,7 @@ void JsonlFleetSink::on_run_end(const FleetRunSummary& summary) {
   os << ",\"avg_pue\":";
   json_number(os, summary.avg_pue);
   os << ",\"qos_violations\":" << summary.qos_violations
+     << ",\"shed_jobs\":" << summary.shed_jobs
      << ",\"solves\":" << summary.counters.solves
      << ",\"hits\":" << summary.counters.hits << "}\n";
   os.flush();
@@ -475,6 +606,25 @@ std::string_view get_array(std::string_view text, const std::string& key) {
   return tail.substr(0, end);
 }
 
+/// Whether the record carries `key` at all (optional v2 fields).
+bool has_key(std::string_view text, const std::string& key) {
+  return text.find("\"" + key + "\":") != std::string_view::npos;
+}
+
+/// A flat `n0,n1,...` array payload as numbers (empty payload → empty).
+std::vector<double> parse_number_array(std::string_view payload) {
+  std::vector<double> values;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t end = payload.find(',', pos);
+    if (end == std::string_view::npos) end = payload.size();
+    values.push_back(std::strtod(
+        std::string(payload.substr(pos, end - pos)).c_str(), nullptr));
+    pos = end + 1;
+  }
+  return values;
+}
+
 /// Split a flat `{...},{...}` array payload into its objects.
 std::vector<std::string_view> split_objects(std::string_view array) {
   std::vector<std::string_view> objects;
@@ -495,13 +645,16 @@ FleetResult replay_fleet_jsonl(std::istream& is) {
   FleetResult result;
   bool saw_header = false;
   bool saw_summary = false;
+  bool v2 = false;
   std::string line;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     const std::string_view text(line);
     const std::string type = get_string(text, "type");
     if (type == "header") {
-      TPCOOL_REQUIRE(get_string(text, "schema") == "tpcool-fleet-stream-v1",
+      const std::string schema = get_string(text, "schema");
+      v2 = schema == "tpcool-fleet-stream-v2";
+      TPCOOL_REQUIRE(v2 || schema == "tpcool-fleet-stream-v1",
                      "fleet JSONL replay: unexpected schema");
       saw_header = true;
     } else if (type == "interval") {
@@ -515,6 +668,19 @@ FleetResult replay_fleet_jsonl(std::istream& is) {
       interval.chiller_power_w = get_number(text, "chiller_power_w");
       interval.pue = get_number(text, "pue");
       interval.qos_violations = get_count(text, "qos_violations");
+      if (v2) {
+        for (const double stream : parse_number_array(
+                 get_array(text, "shed"))) {
+          interval.shed_streams.push_back(static_cast<std::size_t>(stream));
+        }
+        if (has_key(text, "control")) {
+          interval.control.active = true;
+          interval.control.target = get_number(text, "target");
+          interval.control.error = get_number(text, "error");
+          interval.control.rack_bias_c =
+              parse_number_array(get_array(text, "bias_c"));
+        }
+      }
       for (const std::string_view object :
            split_objects(get_array(text, "jobs"))) {
         JobOutcome job;
@@ -551,6 +717,7 @@ FleetResult replay_fleet_jsonl(std::istream& is) {
           get_number(text, "total_facility_energy_j");
       result.avg_pue = get_number(text, "avg_pue");
       result.qos_violations = get_count(text, "qos_violations");
+      result.shed_jobs = v2 ? get_count(text, "shed_jobs") : 0;
       TPCOOL_REQUIRE(get_count(text, "intervals") == result.intervals.size(),
                      "fleet JSONL replay: interval count mismatch");
       saw_summary = true;

@@ -46,6 +46,8 @@
 
 namespace tpcool::datacenter {
 
+class FleetController;  // control.hpp
+
 /// Process-global solve-cache activity attributed to one interval (or to
 /// the whole run, in `FleetRunSummary`): misses = coupled solves actually
 /// executed, hits = solves served from the memo.  Deltas of
@@ -67,7 +69,8 @@ struct FleetRunSummary {
   double total_chiller_energy_j = 0.0;
   double total_facility_energy_j = 0.0;  ///< IT + chiller + distribution.
   double avg_pue = 1.0;                  ///< Energy-weighted fleet PUE.
-  std::size_t qos_violations = 0;
+  std::size_t qos_violations = 0;        ///< Incl. shed jobs.
+  std::size_t shed_jobs = 0;             ///< Jobs shed by admission control.
   IntervalCounters counters;             ///< Whole-run solve/hit totals.
 };
 
@@ -119,6 +122,13 @@ class StreamingFleetEngine {
   /// `advance()`.
   void add_observer(FleetObserver& observer);
 
+  /// Close the loop with a fleet controller (control.hpp): registers it
+  /// as an observer AND queries its per-rack supply biases when computing
+  /// each interval (interval i's biases come from the state after
+  /// interval i−1; interval 0 runs unbiased).  At most one controller per
+  /// engine; must be called before the first `advance()`.  Non-owning.
+  void set_controller(FleetController& controller);
+
   /// Compute and dispatch the next interval.  Returns true while an
   /// interval was emitted; the call after the last interval finalizes the
   /// summary, dispatches `on_run_end`, and returns false (as does every
@@ -149,6 +159,14 @@ class StreamingFleetEngine {
   std::unique_ptr<PlacementPolicy> policy_;
   std::vector<RackLoad> loads_;
   std::vector<double> design_flow_kg_h_;
+  /// Runtime per-rack state the event timeline mutates (capacity drops on
+  /// kRackLoss, chiller efficiency on kChillerDerate); initialized from
+  /// the specs, restored by the matching restore events.
+  std::vector<std::size_t> capacity_;
+  std::vector<cooling::ChillerModel> chiller_;
+  std::vector<FleetEvent> events_;  ///< Config events, stably time-sorted.
+  std::size_t next_event_ = 0;
+  FleetController* controller_ = nullptr;
   std::vector<FleetObserver*> observers_;
   FleetRunSummary summary_;
   std::size_t next_interval_ = 0;

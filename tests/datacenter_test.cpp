@@ -52,7 +52,7 @@ JobRequest any_job() {
 }
 
 TEST(PlacementRegistry, NamesRoundTripThroughFactory) {
-  ASSERT_EQ(placement_policy_names().size(), 3u);
+  ASSERT_EQ(placement_policy_names().size(), 4u);
   for (const std::string& name : placement_policy_names()) {
     const std::unique_ptr<PlacementPolicy> policy =
         make_placement_policy(name);
@@ -426,6 +426,207 @@ TEST_F(DatacenterTest, FeasibleFleetReportsNoViolations) {
       EXPECT_GE(job.die_max_c, job.tcase_c);  // die is always hotter
     }
   }
+}
+
+// --------------------------------------------- fault-injection scenarios --
+
+/// The demo fleet with hot-climate chiller ambients, so chiller events are
+/// visible in the electrical numbers (at the default 35 °C ambient the
+/// demo chillers sit at the free-cooling COP cap, where an efficiency
+/// derate changes nothing).
+FleetConfig hot_fleet() {
+  FleetConfig config = two_rack_fleet();
+  for (std::size_t r = 0; r < config.racks.size(); ++r) {
+    config.racks[r].chiller.ambient_c = 46.0 + 0.5 * static_cast<double>(r);
+  }
+  return config;
+}
+
+/// `streams` constant-load streams (identical phases), so every interval
+/// sees the same jobs and only the event timeline distinguishes them.
+std::vector<workload::WorkloadTrace> constant_streams(std::size_t streams,
+                                                      std::size_t phases) {
+  const std::vector<const char*> benches = {"x264", "blackscholes",
+                                            "streamcluster", "ferret"};
+  std::vector<workload::WorkloadTrace> result;
+  for (std::size_t s = 0; s < streams; ++s) {
+    std::vector<workload::TracePhase> trace(
+        phases, {benches[s % benches.size()], {2.0}, 2.0});
+    result.emplace_back(std::move(trace));
+  }
+  return result;
+}
+
+TEST_F(DatacenterTest, ValidatesEventTimeline) {
+  FleetConfig bad_rack = two_rack_fleet();
+  bad_rack.events = {{0.0, 7, FleetEventKind::kRackLoss, 1.0}};
+  EXPECT_THROW(FleetModel{bad_rack}, util::PreconditionError);
+  FleetConfig bad_time = two_rack_fleet();
+  bad_time.events = {{-1.0, 0, FleetEventKind::kRackLoss, 1.0}};
+  EXPECT_THROW(FleetModel{bad_time}, util::PreconditionError);
+  FleetConfig bad_factor = two_rack_fleet();
+  bad_factor.events = {{0.0, 0, FleetEventKind::kChillerDerate, 0.0}};
+  EXPECT_THROW(FleetModel{bad_factor}, util::PreconditionError);
+  bad_factor.events = {{0.0, 0, FleetEventKind::kChillerDerate, 1.5}};
+  EXPECT_THROW(FleetModel{bad_factor}, util::PreconditionError);
+}
+
+TEST_F(DatacenterTest, ChillerDerateRaisesPueAndRestoresBitwise) {
+  // Six identical-load intervals (2 s each); rack 0's chiller runs at 50%
+  // efficiency over [4 s, 8 s).  The derated intervals burn strictly more
+  // chiller power; the restored ones reproduce the pre-event intervals
+  // bit for bit (the event timeline resets to the spec's chiller).
+  FleetConfig config = hot_fleet();
+  config.events = {{4.0, 0, FleetEventKind::kChillerDerate, 0.5},
+                   {8.0, 0, FleetEventKind::kChillerRestore, 1.0}};
+  const FleetResult result =
+      FleetModel(config).run(constant_streams(2, 6));
+  ASSERT_EQ(result.intervals.size(), 6u);
+
+  const FleetInterval& clean = result.intervals[0];
+  for (const std::size_t derated : {2u, 3u}) {
+    SCOPED_TRACE("interval=" + std::to_string(derated));
+    EXPECT_GT(result.intervals[derated].chiller_power_w,
+              clean.chiller_power_w);
+    EXPECT_GT(result.intervals[derated].pue, clean.pue);
+    // The load itself is untouched: only the cooling overhead moved.
+    EXPECT_EQ(result.intervals[derated].it_power_w, clean.it_power_w);
+  }
+  for (const std::size_t restored : {4u, 5u}) {
+    SCOPED_TRACE("interval=" + std::to_string(restored));
+    EXPECT_EQ(result.intervals[restored].chiller_power_w,
+              clean.chiller_power_w);
+    EXPECT_EQ(result.intervals[restored].pue, clean.pue);
+  }
+}
+
+TEST_F(DatacenterTest, RackLossFailsOverAndShedsLowestPriorityFirst) {
+  // Three streams on a 4-server fleet; rack 0 (2 servers) dies over
+  // [4 s, 8 s).  During the outage the surviving rack takes every placed
+  // job and the loosest-QoS stream is shed (counted as a QoS violation);
+  // after the restore the fleet returns to two-rack operation.
+  FleetConfig config = two_rack_fleet();
+  config.shed_overload = true;
+  config.events = {{4.0, 0, FleetEventKind::kRackLoss, 1.0},
+                   {8.0, 0, FleetEventKind::kRackRestore, 1.0}};
+  std::vector<workload::WorkloadTrace> streams;
+  streams.emplace_back(std::vector<workload::TracePhase>(
+      6, {"x264", {1.0}, 2.0}));
+  streams.emplace_back(std::vector<workload::TracePhase>(
+      6, {"blackscholes", {2.0}, 2.0}));
+  streams.emplace_back(std::vector<workload::TracePhase>(
+      6, {"streamcluster", {3.0}, 2.0}));
+  const FleetResult result = FleetModel(config).run(streams);
+  ASSERT_EQ(result.intervals.size(), 6u);
+
+  for (const std::size_t outage : {2u, 3u}) {
+    SCOPED_TRACE("interval=" + std::to_string(outage));
+    const FleetInterval& interval = result.intervals[outage];
+    // Stream 2 has the loosest QoS tier: it is the one shed.
+    ASSERT_EQ(interval.shed_streams, std::vector<std::size_t>{2});
+    EXPECT_EQ(interval.qos_violations, 1u);
+    ASSERT_EQ(interval.jobs.size(), 2u);
+    for (const JobOutcome& job : interval.jobs) {
+      EXPECT_EQ(job.rack, 1u);  // failover: everything on the survivor
+    }
+    EXPECT_EQ(interval.racks[0].jobs, 0u);
+    EXPECT_EQ(interval.racks[0].it_power_w, 0.0);
+  }
+  for (const std::size_t healthy : {0u, 1u, 4u, 5u}) {
+    SCOPED_TRACE("interval=" + std::to_string(healthy));
+    const FleetInterval& interval = result.intervals[healthy];
+    EXPECT_TRUE(interval.shed_streams.empty());
+    ASSERT_EQ(interval.jobs.size(), 3u);
+    EXPECT_GT(interval.racks[0].jobs, 0u);  // both racks carry load again
+    EXPECT_GT(interval.racks[1].jobs, 0u);
+  }
+  EXPECT_EQ(result.shed_jobs, 2u);
+  EXPECT_EQ(result.qos_violations, 2u);
+
+  // Without admission control the same outage is a hard error, exactly as
+  // over-capacity always was.
+  config.shed_overload = false;
+  EXPECT_THROW((void)FleetModel(config).run(streams),
+               util::PreconditionError);
+}
+
+TEST_F(DatacenterTest, FlashCrowdShedsDeterministically) {
+  // Six streams on 4 servers: the two loosest-QoS jobs are shed each
+  // interval, highest QoS factor first, ties broken toward the highest
+  // stream index — a pure function of the interval's arrivals.
+  FleetConfig config = two_rack_fleet();
+  config.shed_overload = true;
+  const std::vector<double> qos = {1.0, 1.0, 2.0, 2.0, 3.0, 3.0};
+  std::vector<workload::WorkloadTrace> streams;
+  for (const double factor : qos) {
+    streams.emplace_back(std::vector<workload::TracePhase>(
+        1, {"x264", {factor}, 2.0}));
+  }
+  const FleetResult result = FleetModel(config).run(streams);
+  ASSERT_EQ(result.intervals.size(), 1u);
+  const std::vector<std::size_t> expected_shed = {4, 5};
+  EXPECT_EQ(result.intervals[0].shed_streams, expected_shed);
+  ASSERT_EQ(result.intervals[0].jobs.size(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(result.intervals[0].jobs[j].stream, j);  // survivors in order
+  }
+  EXPECT_EQ(result.shed_jobs, 2u);
+  EXPECT_EQ(result.qos_violations, 2u);
+}
+
+// ------------------------------------------------------ windowed placement --
+
+TEST(PlacementRegistry, WindowedSuffixSelectsTheHorizon) {
+  EXPECT_EQ(make_placement_policy("windowed")->name(), "windowed");
+  EXPECT_EQ(make_placement_policy("windowed:2")->name(), "windowed:2");
+  for (const char* bad : {"windowed:", "windowed:0", "windowed:x",
+                          "windowed:12345678"}) {
+    EXPECT_THROW((void)make_placement_policy(bad), util::PreconditionError)
+        << bad;
+  }
+}
+
+TEST_F(DatacenterTest, WindowedHorizonOneIsLeastPowerBitwise) {
+  // W = 1 has no lookahead to discount: it must degrade to exactly the
+  // greedy least-power scan, bit for bit.
+  FleetConfig greedy = two_rack_fleet();
+  greedy.placement = "least-power";
+  const std::uint64_t reference =
+      fleet_digest(FleetModel(greedy).run(mixed_streams()));
+  FleetConfig windowed = two_rack_fleet();
+  windowed.placement = "windowed:1";
+  EXPECT_EQ(fleet_digest(FleetModel(windowed).run(mixed_streams())),
+            reference);
+}
+
+TEST_F(DatacenterTest, WindowedLookaheadNeverWorseThanGreedyOnViolations) {
+  // Regression-pinned fixture: rack 0's TCASE limit sits between the
+  // tight-QoS jobs' pinned-coldest case temperature (~38.9 C) and the
+  // loose-QoS jobs' (~26.6 C), so a tight job placed on rack 0 violates
+  // every time.  Greedy least-power starts each interval from zero
+  // estimated power and walks the same tie-break onto rack 0; the
+  // lookahead policy sees rack 0's thermal deficit from the previous
+  // interval and steers the tight jobs to rack 1.
+  FleetConfig config = two_rack_fleet();
+  config.racks[0].tcase_limit_c = 30.0;
+  std::vector<workload::WorkloadTrace> streams;
+  for (const double factor : {1.0, 1.0, 3.0, 3.0}) {
+    streams.emplace_back(std::vector<workload::TracePhase>(
+        6, {"x264", {factor}, 2.0}));
+  }
+
+  FleetConfig greedy = config;
+  greedy.placement = "least-power";
+  const FleetResult greedy_result = FleetModel(greedy).run(streams);
+  FleetConfig windowed = config;
+  windowed.placement = "windowed:4";
+  const FleetResult windowed_result = FleetModel(windowed).run(streams);
+
+  EXPECT_LE(windowed_result.qos_violations, greedy_result.qos_violations);
+  // Pinned: greedy violates every interval, lookahead only where the
+  // deficit has not yet been observed.
+  EXPECT_EQ(greedy_result.qos_violations, 6u);
+  EXPECT_EQ(windowed_result.qos_violations, 3u);
 }
 
 }  // namespace

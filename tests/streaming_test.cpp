@@ -17,6 +17,7 @@
 
 #include "tpcool/core/pipeline_pool.hpp"
 #include "tpcool/core/solve_cache.hpp"
+#include "tpcool/datacenter/control.hpp"
 #include "tpcool/datacenter/fleet.hpp"
 #include "tpcool/datacenter/streaming.hpp"
 #include "tpcool/datacenter/workload_gen.hpp"
@@ -333,6 +334,97 @@ TEST_F(StreamingTest, JsonlFileSinkRoundTripsThroughDisk) {
                util::PreconditionError);
   std::istringstream garbage("{\"type\":\"interval\"}\n");
   EXPECT_THROW((void)replay_fleet_jsonl(garbage), util::PreconditionError);
+}
+
+TEST_F(StreamingTest, JsonlV2RoundTripsControllerStateAndShedJobs) {
+  // The v2 golden: a run with both new record features live — a fleet
+  // controller in the loop and admission-control shedding (5 streams on
+  // 4 servers) — streams to JSONL and replays digest-exactly, controller
+  // stamps and shed lists included.
+  FleetConfig config = make_heterogeneous_fleet(2, 2, kCell);
+  config.shed_overload = true;
+  for (std::size_t r = 0; r < config.racks.size(); ++r) {
+    config.racks[r].chiller.ambient_c = 46.0 + 0.5 * static_cast<double>(r);
+  }
+  WorkloadGenConfig workload = short_scenario(21);
+  workload.streams = 5;  // capacity is 4: full-arrival intervals shed
+  const std::vector<workload::WorkloadTrace> streams =
+      WorkloadGenerator(workload).generate();
+  FleetControllerConfig control;
+  control.target = 1.12;
+  control.window_intervals = 3;
+  control.gain_c = 60.0;
+  control.damping = 0.80;
+  control.max_bias_c = 0.0;
+  FleetController controller(control);
+
+  std::ostringstream jsonl;
+  StreamingFleetEngine engine(config, streams);
+  engine.set_controller(controller);
+  FleetResultAggregator aggregator;
+  JsonlFleetSink sink(jsonl);
+  engine.add_observer(aggregator);
+  engine.add_observer(sink);
+  engine.run();
+
+  EXPECT_NE(jsonl.str().find("\"schema\":\"tpcool-fleet-stream-v2\""),
+            std::string::npos);
+  std::istringstream replay_stream(jsonl.str());
+  const FleetResult replayed = replay_fleet_jsonl(replay_stream);
+  const FleetResult& reference = aggregator.result();
+  EXPECT_EQ(fleet_digest(replayed), fleet_digest(reference));
+
+  // The digest equality above already certifies the stamps; spot-check
+  // that the scenario actually exercised them.
+  EXPECT_GT(replayed.shed_jobs, 0u);
+  bool saw_shed = false;
+  bool saw_bias = false;
+  for (const FleetInterval& interval : replayed.intervals) {
+    EXPECT_TRUE(interval.control.active);
+    EXPECT_EQ(interval.control.target, control.target);
+    saw_shed = saw_shed || !interval.shed_streams.empty();
+    for (const double bias : interval.control.rack_bias_c) {
+      saw_bias = saw_bias || bias != 0.0;
+    }
+  }
+  EXPECT_TRUE(saw_shed);
+  EXPECT_TRUE(saw_bias);
+}
+
+TEST_F(StreamingTest, JsonlV1StreamsStillReplay) {
+  // Backward compatibility: a v1 file (no shed arrays, no control
+  // objects, no shed_jobs summary field) must replay exactly as before.
+  // An uncontrolled, non-shedding run's v2 output differs from the v1
+  // bytes only by the schema tag and those fields, so stripping them
+  // reconstructs the genuine v1 encoding of the same run.
+  const FleetConfig config = make_heterogeneous_fleet(2, 2, kCell);
+  const std::vector<workload::WorkloadTrace> streams =
+      WorkloadGenerator(short_scenario(13)).generate();
+
+  std::ostringstream jsonl;
+  StreamingFleetEngine engine(config, streams);
+  FleetResultAggregator aggregator;
+  JsonlFleetSink sink(jsonl);
+  engine.add_observer(aggregator);
+  engine.add_observer(sink);
+  engine.run();
+
+  std::string v1 = jsonl.str();
+  const auto strip = [&v1](const std::string& needle) {
+    for (std::size_t pos = v1.find(needle); pos != std::string::npos;
+         pos = v1.find(needle, pos)) {
+      v1.erase(pos, needle.size());
+    }
+  };
+  const std::string v2_tag = "tpcool-fleet-stream-v2";
+  v1.replace(v1.find(v2_tag), v2_tag.size(), "tpcool-fleet-stream-v1");
+  strip(",\"shed\":[]");
+  strip(",\"shed_jobs\":0");
+  ASSERT_EQ(v1.find("shed"), std::string::npos);
+
+  std::istringstream replay_stream(v1);
+  const FleetResult replayed = replay_fleet_jsonl(replay_stream);
+  EXPECT_EQ(fleet_digest(replayed), fleet_digest(aggregator.result()));
 }
 
 // ---------------------------------------------------------- rollup reducer --
