@@ -1,0 +1,203 @@
+#include "tpcool/core/cache_shard.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "tpcool/util/error.hpp"
+
+namespace tpcool::core {
+
+CacheShard::CacheShard(std::size_t capacity) : capacity_(capacity) {
+  TPCOOL_REQUIRE(capacity >= 1, "cache shard needs capacity >= 1");
+}
+
+void CacheShard::touch(std::list<Entry>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+void CacheShard::evict_over_capacity() {
+  while (lru_.size() > capacity_) {
+    // Cost-aware victim selection: the cheapest-to-recompute entry goes
+    // first, so a 60 ms coupled solve outlives a cheap schedule scan at
+    // equal recency.  Scanning from the LRU tail with a strict `<` makes
+    // the least recently used of the minimum-cost entries the victim —
+    // with uniform costs this is exact LRU, which the pre-shard tests pin.
+    auto victim = std::prev(lru_.end());
+    for (auto it = victim; it != lru_.begin();) {
+      --it;
+      if (it->cost_ms < victim->cost_ms) victim = it;
+    }
+    index_.erase(victim->key);
+    lru_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+SimulationResult CacheShard::get_or_compute(
+    const std::string& key,
+    const std::function<SimulationResult()>& compute) {
+  std::shared_ptr<InFlight> mine;
+  {
+    std::unique_lock lock(mutex_);
+    while (true) {
+      const auto it = index_.find(key);
+      if (it != index_.end()) {
+        ++stats_.hits;
+        touch(it->second);
+        return it->second->result;
+      }
+      const auto fit = in_flight_.find(key);
+      if (fit == in_flight_.end()) break;
+      // Another thread is computing this key: wait on its in-flight record
+      // and consume the result from it directly.  The record is pinned by
+      // this shared reference, so eviction pressure dropping the stored
+      // entry between the compute and this wake-up cannot force a
+      // recompute — miss/hit counters are exact at any capacity.
+      const std::shared_ptr<InFlight> theirs = fit->second;
+      ++stats_.waiting;
+      compute_done_.wait(lock,
+                         [&] { return theirs->ready || theirs->failed; });
+      --stats_.waiting;
+      if (theirs->ready) {
+        ++stats_.hits;
+        const auto stored = index_.find(key);
+        if (stored != index_.end()) touch(stored->second);
+        return theirs->result;
+      }
+      // The computing thread threw; loop and take over (or wait on a newer
+      // in-flight record).
+    }
+    mine = std::make_shared<InFlight>();
+    in_flight_.emplace(key, mine);
+    ++stats_.misses;
+  }
+  // Compute outside the lock so independent keys solve in parallel.  The
+  // wall clock around the compute is the entry's eviction cost: observed,
+  // not modeled, so transient segments and steady solves rank naturally.
+  SimulationResult result;
+  const auto started = std::chrono::steady_clock::now();
+  try {
+    result = compute();
+  } catch (...) {
+    {
+      std::lock_guard lock(mutex_);
+      mine->failed = true;
+      in_flight_.erase(key);
+    }
+    compute_done_.notify_all();
+    throw;
+  }
+  const double cost_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  put(key, result, cost_ms);
+  {
+    std::lock_guard lock(mutex_);
+    mine->result = std::move(result);
+    mine->ready = true;
+    in_flight_.erase(key);
+  }
+  compute_done_.notify_all();
+  return mine->result;
+}
+
+bool CacheShard::try_get(const std::string& key, SimulationResult& out) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  touch(it->second);
+  out = it->second->result;
+  return true;
+}
+
+void CacheShard::put(const std::string& key, SimulationResult result,
+                     double cost_ms) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Values for one key are identical by construction; keep the larger
+    // observed cost so a remeasured entry never loses eviction priority.
+    it->second->cost_ms = std::max(it->second->cost_ms, cost_ms);
+    touch(it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, cost_ms, std::move(result)});
+  index_.emplace(key, lru_.begin());
+  evict_over_capacity();
+}
+
+CacheShard::Stats CacheShard::stats() const {
+  std::lock_guard lock(mutex_);
+  Stats s = stats_;
+  s.size = lru_.size();
+  return s;
+}
+
+void CacheShard::clear() {
+  std::lock_guard lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  const std::size_t waiting = stats_.waiting;  // a gauge, not a counter
+  stats_ = Stats{};
+  stats_.waiting = waiting;
+}
+
+std::string CacheShard::encode_segment(std::size_t segment_index,
+                                       std::size_t segment_count,
+                                       cache_io::SegmentInfo& info) const {
+  cache_io::SegmentEncoder encoder(segment_index, segment_count);
+  {
+    std::lock_guard lock(mutex_);
+    for (const Entry& entry : lru_) {
+      encoder.add(entry.key, entry.cost_ms,
+                  cache_io::serialize_result(entry.result));
+    }
+  }
+  info.entry_count = encoder.entry_count();
+  std::string blob = std::move(encoder).finish();
+  info.byte_size = blob.size();
+  // The sealed stream digest is the blob's last 8 little-endian bytes.
+  info.stream_digest = 0;
+  for (int byte = 0; byte < 8; ++byte) {
+    info.stream_digest |=
+        static_cast<std::uint64_t>(static_cast<unsigned char>(
+            blob[blob.size() - 8 + static_cast<std::size_t>(byte)]))
+        << (8 * byte);
+  }
+  return blob;
+}
+
+void CacheShard::absorb(std::vector<cache_io::SnapshotEntry> entries) {
+  std::lock_guard lock(mutex_);
+  for (cache_io::SnapshotEntry& entry : entries) {
+    const auto it = index_.find(entry.key);
+    if (it != index_.end()) {
+      // Existing entries win (identical values by construction); keep the
+      // larger cost so a freshly measured entry is not demoted by a
+      // snapshot written before costs were observed.
+      it->second->cost_ms = std::max(it->second->cost_ms, entry.cost_ms);
+      continue;
+    }
+    lru_.push_back(
+        Entry{std::move(entry.key), entry.cost_ms, std::move(entry.result)});
+    index_.emplace(std::prev(lru_.end())->key, std::prev(lru_.end()));
+  }
+  evict_over_capacity();
+}
+
+std::uint64_t CacheShard::content_digest_sum() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t sum = 0;
+  for (const Entry& entry : lru_) {
+    sum += cache_io::entry_content_digest(
+        entry.key, cache_io::serialize_result(entry.result));
+  }
+  return sum;
+}
+
+}  // namespace tpcool::core

@@ -1,0 +1,129 @@
+#pragma once
+/// \file cache_shard.hpp
+/// \brief One lock stripe of the sharded SolveCache: a cost-aware LRU store
+///        with exact in-flight deduplication.
+///
+/// A shard owns every key whose FNV-1a digest falls in its contiguous
+/// digest range (see cache_io::shard_index_for_digest) and is a complete
+/// little cache: its own mutex, LRU list, index, in-flight records, and
+/// hit/miss/eviction counters.  SolveCache routes each key to its shard and
+/// sums the per-shard counters — sums of exact counters are exact, so the
+/// engine contract (deterministic, machine-independent hit/miss counts)
+/// survives the striping.  A shard never takes another shard's lock, so
+/// shards cannot deadlock against each other and hits on different shards
+/// never contend.
+///
+/// Eviction is cost-aware: every entry carries the observed wall-clock cost
+/// of computing it (`cost_ms`), and when the shard is over capacity it
+/// evicts the cheapest-to-recompute entry first, breaking ties toward the
+/// least recently used.  With uniform costs (e.g. entries inserted via
+/// put() without a measured cost) this degrades to exact LRU.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "tpcool/core/cache_segment_io.hpp"
+#include "tpcool/core/server.hpp"
+
+namespace tpcool::core {
+
+/// One stripe of the sharded solve cache.  Thread-safe; see file comment.
+class CacheShard {
+ public:
+  /// Counters since construction or clear(); all exact (see
+  /// SolveCache::Stats for the contract).
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+    std::size_t size = 0;
+    std::size_t waiting = 0;  ///< Gauge: threads blocked on an in-flight
+                              ///< compute; clear() does not reset it.
+  };
+
+  explicit CacheShard(std::size_t capacity);
+
+  CacheShard(const CacheShard&) = delete;
+  CacheShard& operator=(const CacheShard&) = delete;
+
+  /// Serve `key` or run `compute` (without the shard lock held), measuring
+  /// its wall-clock cost for eviction.  Concurrent calls for one key are
+  /// deduplicated exactly: one miss computes, waiters block on the
+  /// in-flight record and count hits, immune to eviction pressure.
+  [[nodiscard]] SimulationResult get_or_compute(
+      const std::string& key,
+      const std::function<SimulationResult()>& compute);
+
+  /// Lookup without computing; counts a hit or a miss.
+  [[nodiscard]] bool try_get(const std::string& key, SimulationResult& out);
+
+  /// Insert as most-recently-used (idempotent: an existing entry is kept,
+  /// refreshed, and keeps the larger of the two costs).
+  void put(const std::string& key, SimulationResult result,
+           double cost_ms = 0.0);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Drop all entries and reset the counters (the waiting gauge survives).
+  void clear();
+
+  /// Encode this shard's entries (MRU -> LRU, under the shard lock) as
+  /// segment `segment_index` of `segment_count` and fill `info` with the
+  /// encoded entry count, byte size, and stream digest.
+  [[nodiscard]] std::string encode_segment(std::size_t segment_index,
+                                           std::size_t segment_count,
+                                           cache_io::SegmentInfo& info) const;
+
+  /// Merge snapshot entries behind the existing ones, in the given order
+  /// (existing keys win — values for one key are identical by
+  /// construction, and the resident entry keeps the larger cost), then
+  /// evict over capacity.  Counters are not touched.  The caller routes:
+  /// every entry's key must belong to this shard.
+  void absorb(std::vector<cache_io::SnapshotEntry> entries);
+
+  /// Wrapping sum of per-entry content digests (see
+  /// cache_io::entry_content_digest) — order-insensitive, cost-blind.
+  [[nodiscard]] std::uint64_t content_digest_sum() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    double cost_ms = 0.0;
+    SimulationResult result;
+  };
+
+  /// Shared record of one in-flight computation.  The computing thread
+  /// publishes the result (or the failure) here; waiters hold their own
+  /// reference and consume from it directly, immune to LRU eviction.
+  struct InFlight {
+    bool ready = false;
+    bool failed = false;
+    SimulationResult result;
+  };
+
+  /// Requires lock held: record use of `it` (move to LRU front).
+  void touch(std::list<Entry>::iterator it);
+  /// Requires lock held: evict cheapest-cost (ties -> least recently used)
+  /// entries while over capacity.
+  void evict_over_capacity();
+
+  mutable std::mutex mutex_;
+  std::condition_variable compute_done_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< Front = most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> in_flight_;
+  Stats stats_;
+};
+
+}  // namespace tpcool::core

@@ -7,208 +7,28 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <limits>
-#include <sstream>
+#include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "tpcool/util/error.hpp"
+#include "tpcool/util/fnv.hpp"
 #include "tpcool/util/logging.hpp"
+#include "tpcool/util/parallel_map.hpp"
+#include "tpcool/util/thread_pool.hpp"
 
 namespace tpcool::core {
 
-// ------------------------------------------------------- snapshot format --
-//
-// Versioned binary snapshot, independent of host endianness and word size
-// (all integers little-endian, doubles as IEEE-754 bit patterns):
-//
-//   magic   8 bytes  "TPCOOLSC"
-//   u32     schema version (kSnapshotVersion); any other version is refused
-//   u64     entry count
-//   entry*  most- to least-recently-used:
-//             u64 FNV-1a digest of the key bytes
-//             u64 key length, key bytes
-//             u64 payload length, payload bytes (one SimulationResult)
-//   u64     FNV-1a digest of every preceding byte of the file
-//
-// The trailing stream digest catches truncation and bit rot wholesale; the
-// per-entry key digests localize corruption to an entry.  load() validates
-// every length against the remaining bytes before trusting it, so a hostile
-// or damaged file raises SnapshotError instead of undefined behavior.
-
 namespace {
 
-constexpr char kMagic[8] = {'T', 'P', 'C', 'O', 'O', 'L', 'S', 'C'};
+/// Hard ceiling on shard counts; matches the manifest reader's bound.
+constexpr std::size_t kMaxShards = 4096;
 
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-std::uint64_t fnv1a(const char* data, std::size_t size,
-                    std::uint64_t seed = kFnvOffset) {
-  std::uint64_t hash = seed;
-  for (std::size_t i = 0; i < size; ++i) {
-    hash ^= static_cast<unsigned char>(data[i]);
-    hash *= kFnvPrime;
-  }
-  return hash;
+std::size_t round_up_shards(std::size_t shards) {
+  return std::min(std::bit_ceil(std::max<std::size_t>(shards, 1)), kMaxShards);
 }
-
-void put_u8(std::string& out, std::uint8_t value) {
-  out.push_back(static_cast<char>(value));
-}
-
-void put_u32(std::string& out, std::uint32_t value) {
-  for (int shift = 0; shift < 32; shift += 8) {
-    out.push_back(static_cast<char>((value >> shift) & 0xFF));
-  }
-}
-
-void put_u64(std::string& out, std::uint64_t value) {
-  for (int shift = 0; shift < 64; shift += 8) {
-    out.push_back(static_cast<char>((value >> shift) & 0xFF));
-  }
-}
-
-void put_f64(std::string& out, double value) {
-  put_u64(out, std::bit_cast<std::uint64_t>(value));
-}
-
-void put_grid(std::string& out, const util::Grid2D<double>& grid) {
-  put_u64(out, grid.nx());
-  put_u64(out, grid.ny());
-  for (const double value : grid.data()) put_f64(out, value);
-}
-
-void put_metrics(std::string& out, const thermal::ThermalMetrics& m) {
-  put_f64(out, m.max_c);
-  put_f64(out, m.avg_c);
-  put_f64(out, m.grad_max_c_per_mm);
-  put_u64(out, m.hotspot_cells);
-  put_u64(out, m.cell_count);
-}
-
-/// Serialize one SimulationResult, field for field.  Any new field must be
-/// added here AND bump kSnapshotVersion: old snapshots are refused rather
-/// than silently misread.
-std::string serialize_result(const SimulationResult& r) {
-  std::string out;
-  out.reserve(64 + 8 * (r.die_field_c.size() + r.package_field_c.size() +
-                        r.syphon.htc_map.size() +
-                        r.syphon.fluid_temp_map.size()));
-  put_metrics(out, r.die);
-  put_metrics(out, r.package);
-  put_f64(out, r.tcase_c);
-  put_f64(out, r.total_power_w);
-  put_f64(out, r.power.active_cores_w);
-  put_f64(out, r.power.idle_cores_w);
-  put_f64(out, r.power.mcio_w);
-  put_f64(out, r.power.llc_w);
-  put_f64(out, r.syphon.t_sat_c);
-  put_f64(out, r.syphon.refrigerant_flow_kg_s);
-  put_f64(out, r.syphon.loop_exit_quality);
-  put_f64(out, r.syphon.water_outlet_c);
-  put_f64(out, r.syphon.q_total_w);
-  put_grid(out, r.syphon.htc_map);
-  put_grid(out, r.syphon.fluid_temp_map);
-  put_u64(out, r.syphon.channels.size());
-  for (const thermosyphon::ChannelSummary& ch : r.syphon.channels) {
-    put_f64(out, ch.exit_quality);
-    put_f64(out, ch.absorbed_w);
-    put_u8(out, ch.dried_out ? 1 : 0);
-  }
-  put_u8(out, r.syphon.any_dryout ? 1 : 0);
-  put_grid(out, r.die_field_c);
-  put_grid(out, r.package_field_c);
-  put_u64(out, r.active_cores.size());
-  for (const int core : r.active_cores) {
-    put_u64(out, std::bit_cast<std::uint64_t>(static_cast<std::int64_t>(core)));
-  }
-  // v2: transient-segment payload.  Steady results serialize an empty end
-  // state and zero counters — a few dozen bytes of overhead per entry.
-  put_u64(out, r.transient.end_state_c.size());
-  for (const double value : r.transient.end_state_c) put_f64(out, value);
-  put_f64(out, r.transient.peak_tcase_c);
-  put_f64(out, r.transient.peak_die_c);
-  put_f64(out, r.transient.sim_time_s);
-  put_u64(out, r.transient.steps);
-  put_u64(out, r.transient.rejected_steps);
-  return out;
-}
-
-/// Bounds-checked reader over a byte buffer; every underflow throws
-/// SnapshotError so truncated files fail loudly at the exact spot.
-class Cursor {
- public:
-  Cursor(const std::string& buffer, std::size_t pos, std::size_t end)
-      : buffer_(buffer), pos_(pos), end_(end) {}
-
-  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
-  [[nodiscard]] std::size_t remaining() const noexcept { return end_ - pos_; }
-
-  std::uint8_t u8() {
-    need(1);
-    return static_cast<std::uint8_t>(buffer_[pos_++]);
-  }
-
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t value = 0;
-    for (int shift = 0; shift < 32; shift += 8) {
-      value |= static_cast<std::uint32_t>(
-                   static_cast<unsigned char>(buffer_[pos_++]))
-               << shift;
-    }
-    return value;
-  }
-
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t value = 0;
-    for (int shift = 0; shift < 64; shift += 8) {
-      value |= static_cast<std::uint64_t>(
-                   static_cast<unsigned char>(buffer_[pos_++]))
-               << shift;
-    }
-    return value;
-  }
-
-  double f64() { return std::bit_cast<double>(u64()); }
-
-  std::string bytes(std::size_t size) {
-    need(size);
-    std::string out = buffer_.substr(pos_, size);
-    pos_ += size;
-    return out;
-  }
-
-  void skip(std::size_t size) {
-    need(size);
-    pos_ += size;
-  }
-
-  /// A length field must fit the remaining bytes before it is trusted.
-  std::size_t length(const char* what) {
-    const std::uint64_t value = u64();
-    if (value > remaining()) {
-      throw SnapshotError(std::string("truncated solve-cache snapshot: ") +
-                          what + " length exceeds the file");
-    }
-    return static_cast<std::size_t>(value);
-  }
-
- private:
-  void need(std::size_t count) const {
-    if (end_ - pos_ < count) {
-      throw SnapshotError(
-          "truncated solve-cache snapshot: unexpected end of file");
-    }
-  }
-
-  const std::string& buffer_;
-  std::size_t pos_;
-  std::size_t end_;
-};
 
 /// Snapshot-size warning threshold in bytes; TPCOOL_SOLVE_CACHE_WARN_MB
 /// overrides the 64 MB default (fractions allowed, <= 0 disables).  Read
@@ -237,357 +57,179 @@ std::size_t snapshot_warn_bytes() {
   return static_cast<std::size_t>(bytes);
 }
 
-util::Grid2D<double> parse_grid(Cursor& cursor) {
-  const std::uint64_t nx = cursor.u64();
-  const std::uint64_t ny = cursor.u64();
-  if (nx == 0 || ny == 0) {
-    if (nx != ny) {
-      throw SnapshotError("corrupt solve-cache snapshot: half-empty grid");
-    }
-    return {};
+/// Route parsed snapshot entries to per-shard buckets, preserving order
+/// within each bucket (loaded entries join behind existing ones in saved
+/// recency order).
+std::vector<std::vector<cache_io::SnapshotEntry>> bucket_by_shard(
+    std::vector<cache_io::SnapshotEntry> entries, std::size_t shard_count) {
+  std::vector<std::vector<cache_io::SnapshotEntry>> buckets(shard_count);
+  for (cache_io::SnapshotEntry& entry : entries) {
+    const std::size_t shard = cache_io::shard_index_for_digest(
+        cache_io::key_digest(entry.key), shard_count);
+    buckets[shard].push_back(std::move(entry));
   }
-  // Overflow-safe bound: nx * ny doubles must fit the remaining bytes.
-  if (nx > (cursor.remaining() / 8) / ny) {
-    throw SnapshotError(
-        "truncated solve-cache snapshot: grid exceeds the file");
-  }
-  util::Grid2D<double> grid(static_cast<std::size_t>(nx),
-                            static_cast<std::size_t>(ny));
-  for (double& value : grid.data()) value = cursor.f64();
-  return grid;
-}
-
-thermal::ThermalMetrics parse_metrics(Cursor& cursor) {
-  thermal::ThermalMetrics m;
-  m.max_c = cursor.f64();
-  m.avg_c = cursor.f64();
-  m.grad_max_c_per_mm = cursor.f64();
-  m.hotspot_cells = static_cast<std::size_t>(cursor.u64());
-  m.cell_count = static_cast<std::size_t>(cursor.u64());
-  return m;
-}
-
-SimulationResult parse_result(Cursor& cursor) {
-  SimulationResult r;
-  r.die = parse_metrics(cursor);
-  r.package = parse_metrics(cursor);
-  r.tcase_c = cursor.f64();
-  r.total_power_w = cursor.f64();
-  r.power.active_cores_w = cursor.f64();
-  r.power.idle_cores_w = cursor.f64();
-  r.power.mcio_w = cursor.f64();
-  r.power.llc_w = cursor.f64();
-  r.syphon.t_sat_c = cursor.f64();
-  r.syphon.refrigerant_flow_kg_s = cursor.f64();
-  r.syphon.loop_exit_quality = cursor.f64();
-  r.syphon.water_outlet_c = cursor.f64();
-  r.syphon.q_total_w = cursor.f64();
-  r.syphon.htc_map = parse_grid(cursor);
-  r.syphon.fluid_temp_map = parse_grid(cursor);
-  const std::size_t channel_count = cursor.length("channel list");
-  r.syphon.channels.resize(channel_count);
-  for (thermosyphon::ChannelSummary& ch : r.syphon.channels) {
-    ch.exit_quality = cursor.f64();
-    ch.absorbed_w = cursor.f64();
-    ch.dried_out = cursor.u8() != 0;
-  }
-  r.syphon.any_dryout = cursor.u8() != 0;
-  r.die_field_c = parse_grid(cursor);
-  r.package_field_c = parse_grid(cursor);
-  const std::size_t core_count = cursor.length("active-core list");
-  r.active_cores.resize(core_count);
-  for (int& core : r.active_cores) {
-    core = static_cast<int>(std::bit_cast<std::int64_t>(cursor.u64()));
-  }
-  const std::size_t state_count = cursor.length("transient end state");
-  if (state_count > cursor.remaining() / 8) {
-    throw SnapshotError(
-        "truncated solve-cache snapshot: transient state exceeds the file");
-  }
-  r.transient.end_state_c.resize(state_count);
-  for (double& value : r.transient.end_state_c) value = cursor.f64();
-  r.transient.peak_tcase_c = cursor.f64();
-  r.transient.peak_die_c = cursor.f64();
-  r.transient.sim_time_s = cursor.f64();
-  r.transient.steps = cursor.u64();
-  r.transient.rejected_steps = cursor.u64();
-  return r;
+  return buckets;
 }
 
 }  // namespace
 
-SolveCache::SolveCache(std::size_t capacity) : capacity_(capacity) {
+SolveCache::SolveCache(std::size_t capacity, std::size_t shards) {
   TPCOOL_REQUIRE(capacity >= 1, "solve cache needs capacity >= 1");
-}
-
-void SolveCache::touch(std::list<Entry>::iterator it) {
-  lru_.splice(lru_.begin(), lru_, it);
-}
-
-void SolveCache::evict_over_capacity() {
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++stats_.evictions;
+  const std::size_t count =
+      shards == 0 ? default_shard_count() : round_up_shards(shards);
+  // Divide the capacity across the stripes, rounded up so every shard can
+  // hold at least one entry; capacity() reports the effective total.
+  shard_capacity_ = std::max<std::size_t>(1, (capacity + count - 1) / count);
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<CacheShard>(shard_capacity_));
   }
 }
 
-void SolveCache::append_lru(std::string key, SimulationResult result) {
-  lru_.push_back(Entry{std::move(key), std::move(result)});
-  const auto it = std::prev(lru_.end());
-  index_.emplace(it->key, it);
+std::size_t SolveCache::default_shard_count() {
+  if (const char* env = std::getenv("TPCOOL_SOLVE_CACHE_SHARDS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) {
+      return round_up_shards(static_cast<std::size_t>(parsed));
+    }
+    std::fprintf(stderr,
+                 "tpcool: ignoring TPCOOL_SOLVE_CACHE_SHARDS=%s "
+                 "(want an integer >= 1)\n",
+                 env);
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return round_up_shards(hardware == 0 ? 1 : hardware);
+}
+
+CacheShard& SolveCache::shard_for(const std::string& key) const {
+  return *shards_[cache_io::shard_index_for_digest(cache_io::key_digest(key),
+                                                   shards_.size())];
 }
 
 SimulationResult SolveCache::get_or_compute(
     const std::string& key,
     const std::function<SimulationResult()>& compute) {
-  std::shared_ptr<InFlight> mine;
-  {
-    std::unique_lock lock(mutex_);
-    while (true) {
-      const auto it = index_.find(key);
-      if (it != index_.end()) {
-        ++stats_.hits;
-        touch(it->second);
-        return it->second->result;
-      }
-      const auto fit = in_flight_.find(key);
-      if (fit == in_flight_.end()) break;
-      // Another thread is computing this key: wait on its in-flight record
-      // and consume the result from it directly.  The record is pinned by
-      // this shared reference, so eviction pressure dropping the stored
-      // entry between the compute and this wake-up cannot force a
-      // recompute — miss/hit counters are exact at any capacity.
-      const std::shared_ptr<InFlight> theirs = fit->second;
-      ++stats_.waiting;
-      compute_done_.wait(lock,
-                         [&] { return theirs->ready || theirs->failed; });
-      --stats_.waiting;
-      if (theirs->ready) {
-        ++stats_.hits;
-        const auto stored = index_.find(key);
-        if (stored != index_.end()) touch(stored->second);
-        return theirs->result;
-      }
-      // The computing thread threw; loop and take over (or wait on a newer
-      // in-flight record).
-    }
-    mine = std::make_shared<InFlight>();
-    in_flight_.emplace(key, mine);
-    ++stats_.misses;
-  }
-  // Compute outside the lock so independent keys solve in parallel.
-  SimulationResult result;
-  try {
-    result = compute();
-  } catch (...) {
-    {
-      std::lock_guard lock(mutex_);
-      mine->failed = true;
-      in_flight_.erase(key);
-    }
-    compute_done_.notify_all();
-    throw;
-  }
-  put(key, result);
-  {
-    std::lock_guard lock(mutex_);
-    mine->result = std::move(result);
-    mine->ready = true;
-    in_flight_.erase(key);
-  }
-  compute_done_.notify_all();
-  return mine->result;
+  return shard_for(key).get_or_compute(key, compute);
 }
 
 bool SolveCache::try_get(const std::string& key, SimulationResult& out) {
-  std::lock_guard lock(mutex_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++stats_.misses;
-    return false;
-  }
-  ++stats_.hits;
-  touch(it->second);
-  out = it->second->result;
-  return true;
+  return shard_for(key).try_get(key, out);
 }
 
-void SolveCache::put(const std::string& key, SimulationResult result) {
-  std::lock_guard lock(mutex_);
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
-    touch(it->second);
-    return;
-  }
-  lru_.push_front(Entry{key, std::move(result)});
-  index_.emplace(key, lru_.begin());
-  evict_over_capacity();
+void SolveCache::put(const std::string& key, SimulationResult result,
+                     double cost_ms) {
+  shard_for(key).put(key, std::move(result), cost_ms);
 }
 
 SolveCache::Stats SolveCache::stats() const {
-  std::lock_guard lock(mutex_);
-  Stats s = stats_;
-  s.size = lru_.size();
-  return s;
+  Stats total;
+  for (const std::unique_ptr<CacheShard>& shard : shards_) {
+    const CacheShard::Stats s = shard->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.size += s.size;
+    total.waiting += s.waiting;
+  }
+  return total;
 }
 
 void SolveCache::clear() {
-  std::lock_guard lock(mutex_);
-  lru_.clear();
-  index_.clear();
-  const std::size_t waiting = stats_.waiting;  // a gauge, not a counter
-  stats_ = Stats{};
-  stats_.waiting = waiting;
+  for (const std::unique_ptr<CacheShard>& shard : shards_) shard->clear();
 }
 
 // --------------------------------------------------------- persistence --
 
 void SolveCache::save(const std::string& path) const {
-  std::string blob;
-  {
-    std::lock_guard lock(mutex_);
-    blob.append(kMagic, sizeof(kMagic));
-    put_u32(blob, kSnapshotVersion);
-    put_u64(blob, lru_.size());
-    for (const Entry& entry : lru_) {
-      const std::string payload = serialize_result(entry.result);
-      put_u64(blob, fnv1a(entry.key.data(), entry.key.size()));
-      put_u64(blob, entry.key.size());
-      blob += entry.key;
-      put_u64(blob, payload.size());
-      blob += payload;
-    }
-  }
-  put_u64(blob, fnv1a(blob.data(), blob.size()));
+  const std::size_t shard_count = shards_.size();
+  std::vector<cache_io::SegmentInfo> infos(shard_count);
 
-  // Surface fleet-scale snapshot growth before it hurts: the snapshot is
-  // still whole-file (see ROADMAP — sharded/mmap storage is the next step
-  // if this warning starts firing in practice).
+  // Fan the per-segment encode + atomic write out over the thread pool:
+  // each shard serializes under its own lock and lands in its own file, so
+  // wide caches save in parallel.  parallel_map degrades to a serial loop
+  // when called from inside a pool worker (nested saves stay safe).
+  const std::vector<std::size_t> byte_sizes =
+      util::parallel_map<std::size_t>(
+          shard_count, 1, [](std::size_t chunk) { return chunk; },
+          [&](std::size_t /*chunk*/, std::size_t i) {
+            const std::string blob =
+                shards_[i]->encode_segment(i, shard_count, infos[i]);
+            cache_io::write_file_atomic(cache_io::segment_path(path, i), blob);
+            return blob.size();
+          });
+
+  // Manifest last: a manifest that landed describes segments that already
+  // landed.  (A reader racing a rewrite can catch a new segment under an
+  // old manifest — the manifest-recorded segment digests make that a
+  // detected cold start, never silent corruption.)
+  const std::string manifest = cache_io::encode_manifest(infos);
+  cache_io::write_file_atomic(path, manifest);
+
+  // A previous save with more shards leaves higher-index segment files
+  // behind; remove them so the directory mirrors the manifest.  Best
+  // effort — a stale survivor is unreferenced and harmless.
+  for (std::size_t i = shard_count; i < kMaxShards; ++i) {
+    std::error_code ec;
+    if (!std::filesystem::remove(cache_io::segment_path(path, i), ec)) break;
+  }
+
+  // Surface fleet-scale snapshot growth early (now across all files).
+  std::size_t total_bytes = manifest.size();
+  for (const std::size_t size : byte_sizes) total_bytes += size;
   const std::size_t warn_bytes = snapshot_warn_bytes();
-  if (warn_bytes > 0 && blob.size() > warn_bytes) {
+  if (warn_bytes > 0 && total_bytes > warn_bytes) {
     util::log_warn() << "solve-cache snapshot " << path << " is "
-                     << blob.size() / (1024.0 * 1024.0)
-                     << " MB (warn threshold "
+                     << total_bytes / (1024.0 * 1024.0) << " MB across "
+                     << shard_count << " segment(s) (warn threshold "
                      << warn_bytes / (1024.0 * 1024.0)
                      << " MB; raise TPCOOL_SOLVE_CACHE_WARN_MB or lower "
                         "TPCOOL_SOLVE_CACHE_CAPACITY)";
   }
-
-  // Write-temp-then-rename: readers (and a crash mid-write) never observe
-  // a partial snapshot.  Concurrent writers to one path can interleave in
-  // the temp file; the stream digest makes that a detected cold start, not
-  // silent corruption.
-  const std::string temp = path + ".tmp";
-  {
-    std::ofstream os(temp, std::ios::binary | std::ios::trunc);
-    if (!os) {
-      throw SnapshotError("cannot open " + temp + " for writing");
-    }
-    os.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-    os.flush();
-    if (!os) {
-      throw SnapshotError("short write to " + temp);
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(temp, path, ec);
-  if (ec) {
-    std::filesystem::remove(temp, ec);
-    throw SnapshotError("cannot rename " + temp + " to " + path);
-  }
 }
 
 void SolveCache::load(const std::string& path) {
-  std::string blob;
-  {
-    std::ifstream is(path, std::ios::binary);
-    if (!is) {
-      throw SnapshotError("cannot open solve-cache snapshot " + path);
-    }
-    std::ostringstream buffer;
-    buffer << is.rdbuf();
-    if (!is.good() && !is.eof()) {
-      throw SnapshotError("cannot read solve-cache snapshot " + path);
-    }
-    blob = std::move(buffer).str();
-  }
+  const std::string blob = cache_io::read_file(path);
 
-  constexpr std::size_t kHeaderSize = sizeof(kMagic) + 4 + 8;
-  if (blob.size() < kHeaderSize + 8) {
-    throw SnapshotError("truncated solve-cache snapshot " + path +
-                        ": shorter than the fixed header");
-  }
-  if (!std::equal(kMagic, kMagic + sizeof(kMagic), blob.begin())) {
+  // Parse and validate everything *before* touching the cache: a snapshot
+  // that fails validation leaves the cache exactly as it was.
+  std::vector<cache_io::SnapshotEntry> entries;
+  if (cache_io::is_legacy_snapshot(blob)) {
+    // v2 -> v3 migration path: monolithic snapshots (CI actions-cache
+    // blobs, long-lived --cache-file paths) load transparently; the next
+    // save rewrites them segmented.
+    entries = cache_io::decode_legacy_v2(blob, path);
+  } else if (cache_io::is_manifest(blob)) {
+    const cache_io::Manifest manifest = cache_io::decode_manifest(blob, path);
+    const std::size_t segment_count = manifest.segments.size();
+    for (std::size_t i = 0; i < segment_count; ++i) {
+      const std::string segment_file = cache_io::segment_path(path, i);
+      std::vector<cache_io::SnapshotEntry> segment = cache_io::decode_segment(
+          cache_io::read_file(segment_file), i, segment_count,
+          manifest.segments[i], segment_file);
+      entries.insert(entries.end(), std::make_move_iterator(segment.begin()),
+                     std::make_move_iterator(segment.end()));
+    }
+  } else {
     throw SnapshotError(path + " is not a solve-cache snapshot (bad magic)");
   }
-  Cursor cursor(blob, sizeof(kMagic), blob.size() - 8);
-  // Version before digest: a future schema gets the clear refusal below
-  // even if it also moves the digest.
-  const std::uint32_t version = cursor.u32();
-  if (version != kSnapshotVersion) {
-    throw SnapshotError(
-        "solve-cache snapshot " + path + " has schema version " +
-        std::to_string(version) + "; this build reads only version " +
-        std::to_string(kSnapshotVersion) + " — delete it and re-warm");
-  }
-  {
-    Cursor digest_cursor(blob, blob.size() - 8, blob.size());
-    const std::uint64_t recorded = digest_cursor.u64();
-    const std::uint64_t actual = fnv1a(blob.data(), blob.size() - 8);
-    if (recorded != actual) {
-      throw SnapshotError("corrupt solve-cache snapshot " + path +
-                          ": stream digest mismatch (truncated or damaged)");
-    }
-  }
-  const std::uint64_t entry_count = cursor.u64();
 
-  std::vector<std::pair<std::string, SimulationResult>> entries;
-  entries.reserve(static_cast<std::size_t>(
-      std::min<std::uint64_t>(entry_count, 4096)));
-  for (std::uint64_t i = 0; i < entry_count; ++i) {
-    const std::uint64_t key_digest = cursor.u64();
-    const std::size_t key_size = cursor.length("key");
-    std::string key = cursor.bytes(key_size);
-    if (fnv1a(key.data(), key.size()) != key_digest) {
-      throw SnapshotError("corrupt solve-cache snapshot " + path +
-                          ": key digest mismatch at entry " +
-                          std::to_string(i));
-    }
-    const std::size_t payload_size = cursor.length("payload");
-    Cursor payload(blob, cursor.pos(), cursor.pos() + payload_size);
-    SimulationResult result = parse_result(payload);
-    if (payload.remaining() != 0) {
-      throw SnapshotError("corrupt solve-cache snapshot " + path +
-                          ": payload of entry " + std::to_string(i) +
-                          " has trailing bytes");
-    }
-    cursor.skip(payload_size);  // parse_result consumed a bounded view
-    entries.emplace_back(std::move(key), std::move(result));
+  // Re-stripe by *this* cache's shard count (the snapshot's segment count
+  // need not match) and merge each bucket behind the shard's existing
+  // entries.  Entry order within a bucket follows the snapshot's saved
+  // recency order, so the merge is deterministic.
+  std::vector<std::vector<cache_io::SnapshotEntry>> buckets =
+      bucket_by_shard(std::move(entries), shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->absorb(std::move(buckets[i]));
   }
-  if (cursor.remaining() != 0) {
-    throw SnapshotError("corrupt solve-cache snapshot " + path +
-                        ": trailing bytes after the last entry");
-  }
-
-  std::lock_guard lock(mutex_);
-  for (auto& [key, result] : entries) {
-    if (index_.contains(key)) continue;  // existing entries win (identical
-                                         // values by construction)
-    append_lru(std::move(key), std::move(result));
-  }
-  evict_over_capacity();
 }
 
 std::uint64_t SolveCache::content_digest() const {
-  std::lock_guard lock(mutex_);
-  std::uint64_t digest = kFnvOffset;
-  for (const Entry& entry : lru_) {
-    digest = fnv1a(entry.key.data(), entry.key.size(), digest);
-    const std::string payload = serialize_result(entry.result);
-    digest = fnv1a(payload.data(), payload.size(), digest);
+  std::uint64_t sum = 0;
+  for (const std::unique_ptr<CacheShard>& shard : shards_) {
+    sum += shard->content_digest_sum();
   }
-  return digest;
+  return sum;
 }
 
 namespace {
@@ -633,6 +275,10 @@ void SolveCache::attach_persistent_file(
     const std::shared_ptr<SolveCache>& cache, std::string path) {
   TPCOOL_REQUIRE(cache != nullptr, "attach_persistent_file needs a cache");
   TPCOOL_REQUIRE(!path.empty(), "attach_persistent_file needs a path");
+  // The exit save fans segments out via parallel_map; construct the global
+  // thread pool *before* registering the atexit handler so the pool's
+  // function-local static slot is destroyed after the handler runs.
+  (void)util::ThreadPool::global();
   std::error_code ec;
   if (std::filesystem::exists(path, ec)) {
     try {
@@ -648,9 +294,16 @@ void SolveCache::attach_persistent_file(
   std::lock_guard lock(registry.mutex);
   // One snapshot path per cache, last attach wins: a bench's --cache-file
   // replaces the TPCOOL_SOLVE_CACHE_FILE registration made by global(),
-  // so the env path is not also rewritten at exit.
+  // so the env path is not also rewritten at exit.  The displacement is
+  // deliberate but must be visible — the first path will NOT be rewritten.
   for (auto& [existing, existing_path] : registry.entries) {
     if (existing == cache) {
+      if (existing_path != path) {
+        util::log_warn() << "solve-cache snapshot path " << path
+                         << " displaces previously attached " << existing_path
+                         << " (last attach wins; " << existing_path
+                         << " will not be rewritten at exit)";
+      }
       existing_path = std::move(path);
       return;
     }
@@ -747,14 +400,14 @@ std::string segment_request_key(const std::string& scope,
   // birthday collisions at fleet scale; two independent seeds push the
   // collision probability below any practical run length while keeping the
   // key a fixed, small size.
-  std::uint64_t lo = kFnvOffset;
-  std::uint64_t hi = kFnvOffset ^ 0x9e3779b97f4a7c15ULL;
+  std::uint64_t lo = util::kFnvOffsetBasis;
+  std::uint64_t hi = util::kFnvOffsetBasis ^ 0x9e3779b97f4a7c15ULL;
   for (const double value : initial_field_c) {
     const auto bits = std::bit_cast<std::uint64_t>(value);
     for (int shift = 0; shift < 64; shift += 8) {
       const auto byte = static_cast<unsigned char>((bits >> shift) & 0xFF);
-      lo = (lo ^ byte) * kFnvPrime;
-      hi = (hi ^ byte) * kFnvPrime;
+      lo = (lo ^ byte) * util::kFnvPrime;
+      hi = (hi ^ byte) * util::kFnvPrime;
     }
   }
   std::string key = "segment;";

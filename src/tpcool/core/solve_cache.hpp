@@ -1,7 +1,7 @@
 #pragma once
 /// \file solve_cache.hpp
-/// \brief Thread-safe memo of coupled-solve results, shared by the parallel
-///        experiment engine, with versioned on-disk snapshots.
+/// \brief Sharded, thread-safe memo of coupled-solve results, shared by the
+///        parallel experiment engine, with segmented on-disk snapshots.
 ///
 /// Experiment sweeps (Fig. 3/5/6 rows, Table I/II cells, the oracle's subset
 /// enumeration, rack supply-temperature scans) and the acceptance tests
@@ -16,25 +16,36 @@
 /// bit-identical to the value a cold re-solve of its key would produce, so
 /// warm-loaded runs reproduce cold runs exactly.
 ///
-/// Persistence: `save()` / `load()` write and read a versioned, endian-safe
-/// binary snapshot (schema `kSnapshotVersion`, per-entry key digests and a
-/// whole-stream digest, so truncation and corruption are detected, never
-/// undefined behavior).  Setting `TPCOOL_SOLVE_CACHE_FILE=<path>` (or
-/// passing `--cache-file <path>` to a bench binary) loads the snapshot into
-/// the process-global cache at startup and atomically rewrites it at exit,
-/// so bench reruns and the slow CTest suites start warm.
+/// Internally the store is striped into N lock-striped shards (CacheShard),
+/// each owning one contiguous range of FNV-1a key-digest space, so hits on
+/// independent keys no longer serialize on one mutex at fleet thread
+/// counts.  N defaults to the hardware concurrency rounded up to a power of
+/// two and is overridable via TPCOOL_SOLVE_CACHE_SHARDS (or `--cache-shards`
+/// on every bench binary).  Stats are exact per-shard sums; eviction is
+/// cost-aware per shard (cheapest-to-recompute first, LRU tiebreak).
+///
+/// Persistence: `save()` / `load()` write and read a segmented, versioned,
+/// endian-safe snapshot — a manifest at `path` plus one segment file per
+/// shard digest-range (`path.segNNNN`), schema `kSnapshotVersion`, each
+/// file sealed by a stream digest (truncation, corruption, and
+/// mixed-generation manifest/segment pairs are detected, never undefined
+/// behavior).  Legacy monolithic v2 snapshots load transparently and are
+/// rewritten segmented on the next save (the v2 -> v3 migration path).
+/// Setting `TPCOOL_SOLVE_CACHE_FILE=<path>` (or passing `--cache-file
+/// <path>` to a bench binary) loads the snapshot into the process-global
+/// cache at startup and atomically rewrites it at exit, so bench reruns and
+/// the slow CTest suites start warm.  Formats and tooling are documented in
+/// docs/CACHE.md and inspectable via scripts/cache_inspect.py.
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <memory>
-#include <mutex>
-#include <stdexcept>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
+#include "tpcool/core/cache_segment_io.hpp"
+#include "tpcool/core/cache_shard.hpp"
 #include "tpcool/core/server.hpp"
 #include "tpcool/thermal/step_control.hpp"
 #include "tpcool/workload/benchmark.hpp"
@@ -42,47 +53,52 @@
 
 namespace tpcool::core {
 
-/// Thrown by SolveCache::load for unreadable, truncated, corrupt, or
-/// schema-mismatched snapshot files.
-class SnapshotError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
-/// Least-recently-used memo from solve keys to SimulationResults.
+/// Sharded least-recently-used (cost-weighted) memo from solve keys to
+/// SimulationResults.
 ///
-/// All operations are safe to call concurrently.  The lock is released
-/// while a miss computes, so independent keys solve in parallel.
-/// Concurrent get_or_compute calls for the *same* key are deduplicated:
-/// the first caller computes, later callers wait and count a hit — exactly
-/// the serial schedule — so the miss/hit counters are deterministic and
-/// machine-independent (the regression gate in
-/// scripts/check_bench_regression.py relies on this).  Waiters consume the
-/// result from the in-flight computation record itself, not from the LRU
-/// store, so dedup is exact under any eviction pressure — a key evicted
-/// between its compute and a waiter's wake-up is still served.  A key
-/// evicted and *re-requested later* is a genuine capacity miss, and which
-/// entry eviction drops can depend on the parallel touch order: keep a
-/// sweep's unique-key working set under capacity() (or raise it via
+/// All operations are safe to call concurrently.  Shard locks are released
+/// while a miss computes, so independent keys solve in parallel; keys on
+/// different shards do not contend at all.  Concurrent get_or_compute calls
+/// for the *same* key are deduplicated: the first caller computes, later
+/// callers wait and count a hit — exactly the serial schedule — so the
+/// miss/hit counters are deterministic and machine-independent (the
+/// regression gate in scripts/check_bench_regression.py relies on this).
+/// Waiters consume the result from the in-flight computation record itself,
+/// not from the LRU store, so dedup is exact under any eviction pressure —
+/// a key evicted between its compute and a waiter's wake-up is still
+/// served.  A key evicted and *re-requested later* is a genuine capacity
+/// miss, and which entry eviction drops can depend on the parallel touch
+/// order, the observed costs, and the shard count: keep a sweep's
+/// unique-key working set under capacity() (or raise it via
 /// TPCOOL_SOLVE_CACHE_CAPACITY) for cross-run-exact counts.
 class SolveCache {
  public:
   /// Capacity is in entries; one 1 mm-grid SimulationResult is ~100 KB, so
-  /// the default bounds the cache around tens of MB.  The process-global
-  /// cache honors a TPCOOL_SOLVE_CACHE_CAPACITY env override.
+  /// the default bounds the cache around tens of MB.  The capacity is
+  /// divided evenly across the shards (rounded up, so the effective total
+  /// is the next multiple of the shard count); each shard evicts
+  /// independently within its slice.  The process-global cache honors a
+  /// TPCOOL_SOLVE_CACHE_CAPACITY env override.
   static constexpr std::size_t kDefaultCapacity = 256;
 
-  /// Snapshot schema version; load() refuses any other version.
-  /// v2: SimulationResult gained the transient-segment payload
-  /// (TransientSegmentInfo) for the adaptive transient fleet engine.
-  static constexpr std::uint32_t kSnapshotVersion = 2;
+  /// Snapshot schema version; load() refuses any other version except the
+  /// legacy monolithic v2, which loads via the migration path.
+  /// v2: SimulationResult gained the transient-segment payload.
+  /// v3: segmented format (manifest + one segment per shard digest-range)
+  ///     and per-entry observed solve costs.
+  static constexpr std::uint32_t kSnapshotVersion = 3;
 
-  explicit SolveCache(std::size_t capacity = kDefaultCapacity);
+  /// `shards` must be 0 (auto: default_shard_count()) or is rounded up to
+  /// the next power of two.  Tests that pin eviction order or exact sizes
+  /// at tiny capacities pass `shards = 1` to keep one deterministic stripe.
+  explicit SolveCache(std::size_t capacity = kDefaultCapacity,
+                      std::size_t shards = 0);
 
   SolveCache(const SolveCache&) = delete;
   SolveCache& operator=(const SolveCache&) = delete;
 
-  /// Cache hit/miss/eviction counters since construction or clear().
+  /// Cache hit/miss/eviction counters since construction or clear():
+  /// exact sums of the exact per-shard counters.
   struct Stats {
     std::size_t hits = 0;
     std::size_t misses = 0;
@@ -94,9 +110,10 @@ class SolveCache {
   };
 
   /// Serve `key` from the cache, or run `compute`, store and return its
-  /// result.  `compute` runs without the cache lock held; a concurrent
+  /// result.  `compute` runs without any cache lock held; a concurrent
   /// call for the same key blocks until the first caller's result lands
-  /// and then counts a hit.
+  /// and then counts a hit.  The observed wall-clock cost of `compute` is
+  /// recorded on the entry and drives cost-aware eviction.
   [[nodiscard]] SimulationResult get_or_compute(
       const std::string& key,
       const std::function<SimulationResult()>& compute);
@@ -106,36 +123,60 @@ class SolveCache {
 
   /// Insert (idempotent: an existing entry is kept and refreshed as
   /// most-recently-used; values for one key are identical by construction).
-  void put(const std::string& key, SimulationResult result);
+  /// `cost_ms` is the entry's eviction weight — callers that know the
+  /// solve cost should pass it; 0 marks the entry cheapest-to-recompute.
+  void put(const std::string& key, SimulationResult result,
+           double cost_ms = 0.0);
 
   [[nodiscard]] Stats stats() const;
-  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Effective total capacity: per-shard slice times shard count.
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return shard_capacity_ * shards_.size();
+  }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
 
   /// Drop all entries and reset the counters.
   void clear();
 
+  /// Shard count used when a SolveCache is built with `shards = 0`:
+  /// TPCOOL_SOLVE_CACHE_SHARDS (>= 1, rounded up to a power of two) when
+  /// set and valid, else the hardware concurrency rounded up to a power of
+  /// two.
+  [[nodiscard]] static std::size_t default_shard_count();
+
   // ------------------------------------------------------- persistence --
 
-  /// Write every entry (most- to least-recently-used) to `path` as a
-  /// versioned binary snapshot.  The write is atomic: a temporary file is
-  /// written and then renamed over `path`, so readers never observe a
-  /// partial snapshot.  Throws SnapshotError when the file cannot be
-  /// written.  Snapshots larger than TPCOOL_SOLVE_CACHE_WARN_MB megabytes
-  /// (default 64, <= 0 disables) log a warning through util/logging so
-  /// fleet-scale runs surface growth before the whole-file format hurts.
+  /// Write a segmented snapshot: every shard's entries (most- to
+  /// least-recently-used) become one segment file `path.segNNNN`, written
+  /// and renamed atomically, fanned out over the thread pool via
+  /// util::parallel_map; the manifest at `path` is written last, so a
+  /// snapshot whose manifest landed describes segments that already
+  /// landed.  Stale segment files from a previous wider save are removed.
+  /// Throws SnapshotError when a file cannot be written.  Snapshots whose
+  /// files total more than TPCOOL_SOLVE_CACHE_WARN_MB megabytes (default
+  /// 64, <= 0 disables) log a warning through util/logging so fleet-scale
+  /// runs surface growth early.
   void save(const std::string& path) const;
 
-  /// Merge the snapshot at `path` into this cache.  Loaded entries join
-  /// behind the existing ones in saved recency order (existing keys win;
-  /// values for one key are identical by construction) and the usual
-  /// capacity eviction applies.  Hit/miss counters are not touched.
-  /// Throws SnapshotError — never UB — on unreadable, truncated, corrupt,
-  /// or schema-mismatched files.
+  /// Merge the snapshot at `path` into this cache: either a segmented v3
+  /// manifest (+ its segment files) or a legacy monolithic v2 snapshot
+  /// (the migration path — costs default to 0 until remeasured).  Every
+  /// file is fully validated *before* the cache is touched.  Loaded
+  /// entries join behind the existing ones in saved recency order,
+  /// re-striped by this cache's own shard count (existing keys win; values
+  /// for one key are identical by construction) and the usual capacity
+  /// eviction applies.  Hit/miss counters are not touched.  Throws
+  /// SnapshotError — never UB — on unreadable, truncated, corrupt, or
+  /// schema-mismatched files.
   void load(const std::string& path);
 
-  /// Order-sensitive FNV-1a digest over all entries (keys and payload
-  /// bytes, MRU first).  Equal digests after save() + load() into an empty
-  /// cache certify a lossless round trip.
+  /// Order-insensitive digest over all entries: the wrapping sum of
+  /// per-entry FNV-1a digests (key bytes then payload bytes; observed
+  /// costs excluded).  Independent of recency order, shard count, and
+  /// merge interleaving, so equal digests certify equal contents across
+  /// save/load round trips, v2 migration, and concurrent merge-saves.
   [[nodiscard]] std::uint64_t content_digest() const;
 
   /// Load `path` into `cache` now if the file exists (a corrupt snapshot
@@ -146,45 +187,23 @@ class SolveCache {
   /// accumulates across processes instead of being clobbered by a run
   /// that cleared the cache.  One path per cache, last attach wins — a
   /// bench's `--cache-file` replaces the TPCOOL_SOLVE_CACHE_FILE
-  /// registration.  The registry keeps `cache` alive until exit.
+  /// registration, and the displacement is logged through util/logging so
+  /// a silently dropped snapshot path is visible.  The registry keeps
+  /// `cache` alive until exit.
   static void attach_persistent_file(const std::shared_ptr<SolveCache>& cache,
                                      std::string path);
 
   /// Process-wide cache shared by the experiment runners, the rack
   /// coordinator and the oracle sweeps.  Reads TPCOOL_SOLVE_CACHE_CAPACITY
-  /// (entries) and TPCOOL_SOLVE_CACHE_FILE (snapshot path) once, at first
-  /// use.
+  /// (entries), TPCOOL_SOLVE_CACHE_SHARDS (stripes) and
+  /// TPCOOL_SOLVE_CACHE_FILE (snapshot path) once, at first use.
   [[nodiscard]] static const std::shared_ptr<SolveCache>& global();
 
  private:
-  struct Entry {
-    std::string key;
-    SimulationResult result;
-  };
+  [[nodiscard]] CacheShard& shard_for(const std::string& key) const;
 
-  /// Shared record of one in-flight computation.  The computing thread
-  /// publishes the result (or the failure) here; waiters hold their own
-  /// reference and consume from it directly, immune to LRU eviction.
-  struct InFlight {
-    bool ready = false;
-    bool failed = false;
-    SimulationResult result;
-  };
-
-  /// Requires lock held: record use of `it` (move to LRU front).
-  void touch(std::list<Entry>::iterator it);
-  /// Requires lock held: evict least-recently-used entries over capacity.
-  void evict_over_capacity();
-  /// Requires lock held: append an entry at the LRU tail (snapshot load).
-  void append_lru(std::string key, SimulationResult result);
-
-  mutable std::mutex mutex_;
-  std::condition_variable compute_done_;
-  std::size_t capacity_;
-  std::list<Entry> lru_;  ///< Front = most recently used.
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  std::unordered_map<std::string, std::shared_ptr<InFlight>> in_flight_;
-  Stats stats_;
+  std::size_t shard_capacity_;
+  std::vector<std::unique_ptr<CacheShard>> shards_;  ///< Power-of-two count.
 };
 
 /// Append a double to a cache key as its exact bit pattern (hex).  Keys must

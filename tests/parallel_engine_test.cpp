@@ -61,7 +61,9 @@ TEST(SolveCacheTest, RejectsZeroCapacity) {
 }
 
 TEST(SolveCacheTest, CountsHitsAndMisses) {
-  SolveCache cache(4);
+  // One explicit shard: exact sizes at tiny capacities must not depend on
+  // how keys stripe across the host's default shard count.
+  SolveCache cache(4, 1);
   SimulationResult out;
   EXPECT_FALSE(cache.try_get("a", out));
   cache.put("a", result_with_max(50.0));
@@ -85,7 +87,9 @@ TEST(SolveCacheTest, CountsHitsAndMisses) {
 }
 
 TEST(SolveCacheTest, EvictsLeastRecentlyUsed) {
-  SolveCache cache(2);
+  // One shard, uniform (zero) costs: cost-aware eviction degrades to the
+  // exact LRU order this test pins.
+  SolveCache cache(2, 1);
   cache.put("a", result_with_max(1.0));
   cache.put("b", result_with_max(2.0));
   SimulationResult out;
@@ -165,7 +169,7 @@ TEST(SolveCacheTest, ExactCountersUnderEvictionPressure) {
   // until both other tasks are registered waiters (the `waiting` gauge),
   // and the presser hammers the put/evict path throughout.
   util::ThreadPool::set_global_thread_count(4);
-  SolveCache cache(1);
+  SolveCache cache(1, 1);  // one shard: every put contends with "shared"
   std::atomic<int> computes{0};
   std::atomic<bool> stop{false};
   std::thread presser([&] {
@@ -304,7 +308,9 @@ void write_file(const std::string& path, const std::string& blob) {
 
 TEST(SolveCacheSnapshotTest, SaveLoadRoundTripIsLossless) {
   const std::string path = ::testing::TempDir() + "tpcool_snap_roundtrip.bin";
-  SolveCache source(8);
+  // One shard so capacity 8 is one slice and all three entries fit at any
+  // host shard default (cache_test covers multi-shard round trips).
+  SolveCache source(8, 1);
   source.put("alpha", rich_result(1));
   source.put("beta", rich_result(2));
   source.put("gamma", rich_result(3));
@@ -312,7 +318,7 @@ TEST(SolveCacheSnapshotTest, SaveLoadRoundTripIsLossless) {
   ASSERT_TRUE(source.try_get("alpha", touched));  // non-trivial LRU order
   source.save(path);
 
-  SolveCache loaded(8);
+  SolveCache loaded(8, 1);
   loaded.load(path);
   EXPECT_EQ(loaded.content_digest(), source.content_digest());
   EXPECT_EQ(loaded.stats().size, 3u);
@@ -327,13 +333,14 @@ TEST(SolveCacheSnapshotTest, SaveLoadRoundTripIsLossless) {
 
 TEST(SolveCacheSnapshotTest, LoadMergesAndRespectsCapacity) {
   const std::string path = ::testing::TempDir() + "tpcool_snap_merge.bin";
-  SolveCache source(8);
+  SolveCache source(8, 1);
   source.put("alpha", rich_result(1));
   source.put("beta", rich_result(2));
   source.save(path);
 
-  // Existing entries win and stay most-recently-used.
-  SolveCache target(2);
+  // Existing entries win and stay most-recently-used.  One shard: capacity
+  // 2 must mean exactly two resident entries.
+  SolveCache target(2, 1);
   target.put("alpha", rich_result(9));
   target.load(path);
   SimulationResult out;
