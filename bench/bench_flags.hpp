@@ -4,9 +4,12 @@
 ///        flag (overrides TPCOOL_NUM_THREADS) so CI and local runs pin the
 ///        solver thread count reproducibly, a `--cache-shards N` flag
 ///        (overrides TPCOOL_SOLVE_CACHE_SHARDS) that pins the solve-cache
-///        stripe count, and a `--cache-file PATH` flag (overrides
+///        stripe count, a `--cache-file PATH` flag (overrides
 ///        TPCOOL_SOLVE_CACHE_FILE) that warms the process-global solve cache
-///        from a snapshot and atomically saves it back at exit.
+///        from a snapshot and atomically saves it back at exit, and a
+///        `--trace-file PATH` flag (overrides TPCOOL_TRACE_FILE) that
+///        enables telemetry and exports a Chrome trace at exit (see
+///        docs/TRACING.md).
 ///        Call apply_cache_shards_flag *before* apply_cache_file_flag: the
 ///        latter constructs the global cache, which reads the shard count.
 
@@ -15,6 +18,7 @@
 #include <string>
 
 #include "tpcool/core/solve_cache.hpp"
+#include "tpcool/util/telemetry.hpp"
 #include "tpcool/util/thread_pool.hpp"
 
 namespace tpcool::bench {
@@ -124,6 +128,43 @@ inline std::string apply_cache_file_flag(int& argc, char** argv) {
   if (!path.empty()) {
     tpcool::core::SolveCache::attach_persistent_file(
         tpcool::core::SolveCache::global(), path);
+  }
+  return path;
+}
+
+/// Consume `--trace-file PATH` (or `--trace-file=PATH`) from argv, enable
+/// telemetry, and arm a Chrome-trace export to PATH (plus the metrics
+/// snapshot to PATH.metrics.json) at process exit — replacing any path a
+/// TPCOOL_TRACE_FILE env set (last wins, like the cache attach).  Compacts
+/// argv like apply_threads_flag.  Returns the path ("" when the flag is
+/// absent).  Telemetry never feeds back into results: a traced run's
+/// digests are bit-identical to an untraced one.
+inline std::string apply_trace_file_flag(int& argc, char** argv) {
+  int out = 1;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace-file") {
+      if (i + 1 >= argc) {
+        std::cerr << "--trace-file expects a path\n";
+        std::exit(2);
+      }
+      path = argv[++i];
+    } else if (arg.rfind("--trace-file=", 0) == 0) {
+      path = arg.substr(13);
+    } else {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (path.empty()) {
+      std::cerr << "--trace-file expects a non-empty path\n";
+      std::exit(2);
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;  // keep the argv[argc] == NULL contract
+  if (!path.empty()) {
+    tpcool::util::Telemetry::arm_process_trace(path);
   }
   return path;
 }

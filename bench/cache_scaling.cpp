@@ -38,6 +38,7 @@
 ///   --fast        fewer ops/entries + fewer repeats (the CI config)
 ///   --json PATH   output path (default BENCH_cache.json)
 ///   --repeats N   timing repeats per case (default 3, best-of)
+///   --trace-file P  telemetry: Chrome trace + metrics JSON at exit (TRACING.md)
 
 #include <atomic>
 #include <chrono>
@@ -54,6 +55,7 @@
 #include "tpcool/util/grid2d.hpp"
 #include "tpcool/util/parallel_map.hpp"
 #include "tpcool/util/table.hpp"
+#include "tpcool/util/telemetry.hpp"
 #include "tpcool/util/thread_pool.hpp"
 
 namespace {
@@ -190,9 +192,11 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--repeats" && i + 1 < argc) {
       repeats = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--trace-file" && i + 1 < argc) {
+      tpcool::util::Telemetry::arm_process_trace(argv[++i]);
     } else {
       std::cerr << "usage: cache_scaling [--fast] [--json PATH] "
-                   "[--repeats N]\n";
+                   "[--repeats N] [--trace-file PATH]\n";
       return 2;
     }
   }

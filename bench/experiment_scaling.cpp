@@ -36,6 +36,7 @@
 ///   --repeats N      timing repeats per case (default 2, best-of)
 ///   --cache-file P   solve-cache snapshot: load, warm-replay, save, verify
 ///   --cache-shards N  solve-cache stripe count (default: hardware concurrency)
+///   --trace-file P   telemetry: Chrome trace + metrics JSON at exit (TRACING.md)
 
 #include <chrono>
 #include <cstdint>
@@ -54,6 +55,7 @@
 #include "tpcool/materials/refrigerant.hpp"
 #include "tpcool/thermosyphon/design_optimizer.hpp"
 #include "tpcool/util/table.hpp"
+#include "tpcool/util/telemetry.hpp"
 
 namespace {
 
@@ -202,10 +204,12 @@ int main(int argc, char** argv) {
       // Export before the global cache is first touched: its shard
       // count is read once, at construction.
       setenv("TPCOOL_SOLVE_CACHE_SHARDS", argv[++i], 1);
+    } else if (arg == "--trace-file" && i + 1 < argc) {
+      util::Telemetry::arm_process_trace(argv[++i]);
     } else {
       std::cerr << "usage: experiment_scaling [--fast] [--threads N] "
                    "[--json PATH] [--repeats N] [--cache-file PATH] "
-                   "[--cache-shards N]\n";
+                   "[--cache-shards N] [--trace-file PATH]\n";
       return 2;
     }
   }

@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace tpcool;
   bench::apply_threads_flag(argc, argv);
+  bench::apply_trace_file_flag(argc, argv);
   bench::apply_cache_file_flag(argc, argv);
   std::cout << "== Fig. 3: normalized execution time @fmax (QoS limit = 2x) "
                "==\n\n";

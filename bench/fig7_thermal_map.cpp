@@ -35,6 +35,7 @@ void ascii_map(const tpcool::util::Grid2D<double>& field, double lo,
 
 int main(int argc, char** argv) {
   tpcool::bench::apply_threads_flag(argc, argv);
+  tpcool::bench::apply_trace_file_flag(argc, argv);
   tpcool::bench::apply_cache_file_flag(argc, argv);
   using namespace tpcool;
   core::ExperimentOptions options;

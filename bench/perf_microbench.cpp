@@ -182,6 +182,7 @@ BENCHMARK(BM_ScheduleDecision)->Unit(benchmark::kMicrosecond);
 // flag) before Google Benchmark sees the command line.
 int main(int argc, char** argv) {
   tpcool::bench::apply_threads_flag(argc, argv);
+  tpcool::bench::apply_trace_file_flag(argc, argv);
   tpcool::bench::apply_cache_file_flag(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

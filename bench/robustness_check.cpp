@@ -38,6 +38,7 @@ double scenario_theta(core::ServerModel& server, int scenario,
 
 int main(int argc, char** argv) {
   tpcool::bench::apply_threads_flag(argc, argv);
+  tpcool::bench::apply_trace_file_flag(argc, argv);
   tpcool::bench::apply_cache_file_flag(argc, argv);
   double cell = 1.25e-3;
   if (argc > 1 && std::string(argv[1]) == "--fast") cell = 1.75e-3;

@@ -93,6 +93,7 @@ void write_json(const std::string& path, std::size_t threads,
 
 int main(int argc, char** argv) {
   const std::size_t threads = tpcool::bench::apply_threads_flag(argc, argv);
+  tpcool::bench::apply_trace_file_flag(argc, argv);
   tpcool::bench::apply_cache_file_flag(argc, argv);
 
   bool fast = false;

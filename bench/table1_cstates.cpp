@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace tpcool;
   bench::apply_threads_flag(argc, argv);
+  bench::apply_trace_file_flag(argc, argv);
   bench::apply_cache_file_flag(argc, argv);
   std::cout << "== Table I: C-state power, all 8 cores ==\n\n";
 

@@ -17,6 +17,7 @@
 
 int main(int argc, char** argv) {
   tpcool::bench::apply_threads_flag(argc, argv);
+  tpcool::bench::apply_trace_file_flag(argc, argv);
   tpcool::bench::apply_cache_file_flag(argc, argv);
   using namespace tpcool;
   core::ExperimentOptions options;

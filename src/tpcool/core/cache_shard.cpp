@@ -2,13 +2,25 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
 #include "tpcool/util/error.hpp"
 
 namespace tpcool::core {
 
-CacheShard::CacheShard(std::size_t capacity) : capacity_(capacity) {
+CacheShard::CacheShard(std::size_t capacity, std::size_t shard_index)
+    : capacity_(capacity) {
   TPCOOL_REQUIRE(capacity >= 1, "cache shard needs capacity >= 1");
+  if (shard_index != kNoShardIndex) {
+    // Resolve the telemetry cells once here (shard construction is rare);
+    // the hot-path increments below are then a null check plus the
+    // one-atomic gate inside add().
+    const std::string prefix = "cache.shard" + std::to_string(shard_index);
+    util::Telemetry& telemetry = util::Telemetry::instance();
+    tel_hits_ = &telemetry.counter(prefix + ".hits");
+    tel_misses_ = &telemetry.counter(prefix + ".misses");
+    tel_evictions_ = &telemetry.counter(prefix + ".evictions");
+  }
 }
 
 void CacheShard::touch(std::list<Entry>::iterator it) {
@@ -30,6 +42,7 @@ void CacheShard::evict_over_capacity() {
     index_.erase(victim->key);
     lru_.erase(victim);
     ++stats_.evictions;
+    if (tel_evictions_ != nullptr) tel_evictions_->add(1.0);
   }
 }
 
@@ -43,6 +56,7 @@ SimulationResult CacheShard::get_or_compute(
       const auto it = index_.find(key);
       if (it != index_.end()) {
         ++stats_.hits;
+        if (tel_hits_ != nullptr) tel_hits_->add(1.0);
         touch(it->second);
         return it->second->result;
       }
@@ -60,6 +74,7 @@ SimulationResult CacheShard::get_or_compute(
       --stats_.waiting;
       if (theirs->ready) {
         ++stats_.hits;
+        if (tel_hits_ != nullptr) tel_hits_->add(1.0);
         const auto stored = index_.find(key);
         if (stored != index_.end()) touch(stored->second);
         return theirs->result;
@@ -70,6 +85,7 @@ SimulationResult CacheShard::get_or_compute(
     mine = std::make_shared<InFlight>();
     in_flight_.emplace(key, mine);
     ++stats_.misses;
+    if (tel_misses_ != nullptr) tel_misses_->add(1.0);
   }
   // Compute outside the lock so independent keys solve in parallel.  The
   // wall clock around the compute is the entry's eviction cost: observed,
@@ -107,9 +123,11 @@ bool CacheShard::try_get(const std::string& key, SimulationResult& out) {
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
+    if (tel_misses_ != nullptr) tel_misses_->add(1.0);
     return false;
   }
   ++stats_.hits;
+  if (tel_hits_ != nullptr) tel_hits_->add(1.0);
   touch(it->second);
   out = it->second->result;
   return true;

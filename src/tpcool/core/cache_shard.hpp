@@ -33,6 +33,7 @@
 
 #include "tpcool/core/cache_segment_io.hpp"
 #include "tpcool/core/server.hpp"
+#include "tpcool/util/telemetry.hpp"
 
 namespace tpcool::core {
 
@@ -50,7 +51,15 @@ class CacheShard {
                               ///< compute; clear() does not reset it.
   };
 
-  explicit CacheShard(std::size_t capacity);
+  /// Sentinel `shard_index`: not part of a sharded cache, no telemetry.
+  static constexpr std::size_t kNoShardIndex = static_cast<std::size_t>(-1);
+
+  /// `shard_index` is this shard's position in its SolveCache; when given,
+  /// the shard mirrors its counters into the telemetry registry as
+  /// `cache.shard<k>.{hits,misses,evictions}` (aggregated across cache
+  /// instances sharing an index — see docs/TRACING.md).
+  explicit CacheShard(std::size_t capacity,
+                      std::size_t shard_index = kNoShardIndex);
 
   CacheShard(const CacheShard&) = delete;
   CacheShard& operator=(const CacheShard&) = delete;
@@ -120,6 +129,11 @@ class CacheShard {
   mutable std::mutex mutex_;
   std::condition_variable compute_done_;
   std::size_t capacity_;
+  /// Telemetry mirrors of the Stats counters (null when constructed
+  /// without a shard index); cells live for the process.
+  util::TelemetryCounter* tel_hits_ = nullptr;
+  util::TelemetryCounter* tel_misses_ = nullptr;
+  util::TelemetryCounter* tel_evictions_ = nullptr;
   std::list<Entry> lru_;  ///< Front = most recently used.
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   std::unordered_map<std::string, std::shared_ptr<InFlight>> in_flight_;

@@ -4,10 +4,27 @@
 
 #include "tpcool/core/parallel.hpp"
 #include "tpcool/util/error.hpp"
+#include "tpcool/util/telemetry.hpp"
 
 namespace tpcool::core {
 
 namespace {
+
+util::TelemetryCounter& pipeline_constructions_counter() {
+  static util::TelemetryCounter& cell =
+      util::Telemetry::instance().counter("pipeline.constructions");
+  return cell;
+}
+util::TelemetryCounter& pipeline_reuses_counter() {
+  static util::TelemetryCounter& cell =
+      util::Telemetry::instance().counter("pipeline.reuses");
+  return cell;
+}
+util::TelemetryGauge& pipeline_idle_gauge() {
+  static util::TelemetryGauge& cell =
+      util::Telemetry::instance().gauge("pipeline.idle");
+  return cell;
+}
 
 /// Pool key: approach + exact cell-size bit pattern (the same pair that
 /// determines the ServerConfig `server_config_for` builds, and hence the
@@ -35,9 +52,19 @@ void PipelinePool::Lease::release() {
   if (pool_ != nullptr && pipeline_ != nullptr) {
     std::lock_guard lock(pool_->mutex_);
     pool_->idle_[key_].push_back(std::move(pipeline_));
+    pool_->update_idle_gauge();
   }
   pool_ = nullptr;
   pipeline_.reset();
+}
+
+/// Requires mutex_ held.  Cheap relative to park/checkout (idle_ has one
+/// entry per distinct (approach, cell size) pair).
+void PipelinePool::update_idle_gauge() const {
+  if (!util::telemetry_enabled()) return;
+  std::size_t idle = 0;
+  for (const auto& [key, parked] : idle_) idle += parked.size();
+  pipeline_idle_gauge().set(static_cast<double>(idle));
 }
 
 PipelinePool::Lease PipelinePool::checkout(
@@ -56,13 +83,17 @@ PipelinePool::Lease PipelinePool::checkout(
       pipeline = std::move(parked.back());
       parked.pop_back();
       ++stats_.reuses;
+      pipeline_reuses_counter().add(1.0);
     } else {
       ++stats_.constructions;
+      pipeline_constructions_counter().add(1.0);
     }
+    update_idle_gauge();
   }
   // Construct outside the lock: ~0.2 ms each, and concurrent chunks must
   // not serialize on it.
   if (pipeline == nullptr) {
+    util::TraceSpan span("pipeline.construct");
     pipeline = std::make_unique<ApproachPipeline>(approach, cell_size_m);
   }
   // (Re-)attach every checkout: the caller's cache may differ from the
@@ -96,6 +127,7 @@ PipelinePool::Stats PipelinePool::stats() const {
 void PipelinePool::clear() {
   std::lock_guard lock(mutex_);
   idle_.clear();
+  update_idle_gauge();
 }
 
 PipelinePool& PipelinePool::global() {

@@ -94,6 +94,10 @@ class PipelinePool {
   [[nodiscard]] static PipelinePool& global();
 
  private:
+  /// Mirror the parked-pipeline total into the `pipeline.idle` telemetry
+  /// gauge (requires mutex_ held; no-op while telemetry is disabled).
+  void update_idle_gauge() const;
+
   mutable std::mutex mutex_;
   Stats stats_;
   std::unordered_map<std::string,

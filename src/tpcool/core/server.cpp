@@ -5,6 +5,7 @@
 
 #include "tpcool/core/solve_cache.hpp"
 #include "tpcool/util/error.hpp"
+#include "tpcool/util/telemetry.hpp"
 
 namespace tpcool::core {
 
@@ -104,6 +105,15 @@ void ServerModel::enable_solve_cache(std::shared_ptr<SolveCache> cache,
 
 SimulationResult ServerModel::coupled_solve(
     const floorplan::UnitPowers& powers, bool reuse_state) {
+  // The unit of work everything above caches and parallelizes: one "solve"
+  // span per cold coupled solve (cache hits never reach here), so the span
+  // count must equal the solve.executed counter and the cache-miss sum.
+  util::TraceSpan span("solve");
+  if (util::telemetry_enabled()) {
+    static util::TelemetryCounter& executed =
+        util::Telemetry::instance().counter("solve.executed");
+    executed.add(1.0);
+  }
   const thermal::StackModel& stack = thermal_.stack();
 
   const util::Grid2D<double> power_map = floorplan::rasterize_power(
@@ -136,6 +146,11 @@ SimulationResult ServerModel::coupled_solve(
   }
 
   if (warm) last_temperature_ = t;
+
+  span.arg("coupling_iterations",
+           static_cast<double>(config_.coupling_iterations));
+  span.arg("power_w", total_w);
+  span.arg("warm", warm ? 1.0 : 0.0);
 
   SimulationResult result;
   result.syphon = std::move(syphon_state);

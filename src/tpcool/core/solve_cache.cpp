@@ -17,6 +17,7 @@
 #include "tpcool/util/fnv.hpp"
 #include "tpcool/util/logging.hpp"
 #include "tpcool/util/parallel_map.hpp"
+#include "tpcool/util/telemetry.hpp"
 #include "tpcool/util/thread_pool.hpp"
 
 namespace tpcool::core {
@@ -82,7 +83,7 @@ SolveCache::SolveCache(std::size_t capacity, std::size_t shards) {
   shard_capacity_ = std::max<std::size_t>(1, (capacity + count - 1) / count);
   shards_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    shards_.push_back(std::make_unique<CacheShard>(shard_capacity_));
+    shards_.push_back(std::make_unique<CacheShard>(shard_capacity_, i));
   }
 }
 
@@ -141,7 +142,10 @@ void SolveCache::clear() {
 // --------------------------------------------------------- persistence --
 
 void SolveCache::save(const std::string& path) const {
+  util::TraceSpan span("cache.save");
   const std::size_t shard_count = shards_.size();
+  span.arg("shards", static_cast<double>(shard_count));
+  span.detail(path);
   std::vector<cache_io::SegmentInfo> infos(shard_count);
 
   // Fan the per-segment encode + atomic write out over the thread pool:
@@ -176,6 +180,7 @@ void SolveCache::save(const std::string& path) const {
   // Surface fleet-scale snapshot growth early (now across all files).
   std::size_t total_bytes = manifest.size();
   for (const std::size_t size : byte_sizes) total_bytes += size;
+  span.arg("bytes", static_cast<double>(total_bytes));
   const std::size_t warn_bytes = snapshot_warn_bytes();
   if (warn_bytes > 0 && total_bytes > warn_bytes) {
     util::log_warn() << "solve-cache snapshot " << path << " is "
@@ -188,6 +193,9 @@ void SolveCache::save(const std::string& path) const {
 }
 
 void SolveCache::load(const std::string& path) {
+  util::TraceSpan span("cache.load");
+  span.arg("shards", static_cast<double>(shards_.size()));
+  span.detail(path);
   const std::string blob = cache_io::read_file(path);
 
   // Parse and validate everything *before* touching the cache: a snapshot

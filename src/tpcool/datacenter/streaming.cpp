@@ -18,6 +18,7 @@
 #include "tpcool/core/pipeline_pool.hpp"
 #include "tpcool/core/solve_cache.hpp"
 #include "tpcool/util/error.hpp"
+#include "tpcool/util/telemetry.hpp"
 #include "tpcool/workload/benchmark.hpp"
 
 namespace tpcool::datacenter {
@@ -136,6 +137,16 @@ bool StreamingFleetEngine::advance() {
   const std::size_t b = next_interval_;
   const double start_s = boundaries_[b];
   const double duration_s = boundaries_[b + 1] - boundaries_[b];
+
+  // One span per streamed interval, covering event application, the
+  // parallel scan/solve fan-out, and observer dispatch.
+  util::TraceSpan span("fleet.interval");
+  span.arg("interval", static_cast<double>(b));
+  if (util::telemetry_enabled()) {
+    static util::TelemetryCounter& intervals =
+        util::Telemetry::instance().counter("fleet.intervals");
+    intervals.add(1.0);
+  }
 
   // Apply every disturbance due by this interval's start (time order;
   // same-time events in config order via the stable sort).
@@ -392,6 +403,8 @@ bool StreamingFleetEngine::advance() {
                                   cache_after.hits - cache_before.hits};
   summary_.counters.solves += counters.solves;
   summary_.counters.hits += counters.hits;
+  span.arg("solves", static_cast<double>(counters.solves));
+  span.arg("hits", static_cast<double>(counters.hits));
 
   // Dispatch on the caller's thread, in registration order, strictly after
   // the interval's parallel fan-out joined.

@@ -14,6 +14,7 @@
 #include "tpcool/thermal/metrics.hpp"
 #include "tpcool/util/error.hpp"
 #include "tpcool/util/fnv.hpp"
+#include "tpcool/util/telemetry.hpp"
 
 namespace tpcool::datacenter {
 
@@ -69,6 +70,16 @@ struct SegmentTask {
 core::SimulationResult integrate_segment(core::ApproachPipeline& pipeline,
                                          const SegmentTask& task,
                                          const TransientEngineConfig& config) {
+  // Runs on whatever pool thread claimed the chunk: these spans are the
+  // repo's cross-thread nesting exercise (cg spans nest under them on
+  // worker rings).  Cache hits replay the value without re-entering here,
+  // so transient.segments counts cold integrations only.
+  util::TraceSpan span("transient.segment");
+  if (util::telemetry_enabled()) {
+    static util::TelemetryCounter& segments =
+        util::Telemetry::instance().counter("transient.segments");
+    segments.add(1.0);
+  }
   core::ServerModel& server = pipeline.server();
   server.set_operating_point(task.op);
   thermal::ThermalModel& thermal = server.thermal();
@@ -190,6 +201,9 @@ core::SimulationResult integrate_segment(core::ApproachPipeline& pipeline,
   TPCOOL_ENSURE(seg.sim_time_s == task.duration_s,
                 "transient segment must land exactly on its boundary");
   seg.end_state_c = std::move(t);
+  span.arg("duration_s", task.duration_s);
+  span.arg("steps", static_cast<double>(seg.steps));
+  span.arg("rejected_steps", static_cast<double>(seg.rejected_steps));
   return result;
 }
 
@@ -236,6 +250,14 @@ TransientFleetResult TransientFleetEngine::run(
   std::unordered_map<std::size_t, std::vector<double>> stream_state;
 
   for (const FleetInterval& interval : result.steady.intervals) {
+    util::TraceSpan interval_span("transient.interval");
+    interval_span.arg("interval", static_cast<double>(interval.interval));
+    interval_span.arg("jobs", static_cast<double>(interval.jobs.size()));
+    if (util::telemetry_enabled()) {
+      static util::TelemetryCounter& intervals =
+          util::Telemetry::instance().counter("transient.intervals");
+      intervals.add(1.0);
+    }
     std::vector<SegmentTask> tasks;
     tasks.reserve(interval.jobs.size());
     for (const JobOutcome& job : interval.jobs) {

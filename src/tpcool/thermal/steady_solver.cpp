@@ -1,10 +1,12 @@
 #include "tpcool/thermal/grid.hpp"
 #include "tpcool/util/error.hpp"
+#include "tpcool/util/telemetry.hpp"
 
 namespace tpcool::thermal {
 
 std::vector<double> ThermalModel::solve_steady(
     const std::vector<double>& hint) const {
+  util::TraceSpan span("steady_solve");
   assemble();
   const std::size_t n = cell_count();
   std::vector<double> rhs = boundary_rhs_;
@@ -14,7 +16,8 @@ std::vector<double> ThermalModel::solve_steady(
     }
   }
   std::vector<double> t = hint;
-  if (t.size() != n) t.assign(n, 40.0);  // rough initial guess [°C]
+  const bool warm = t.size() == n;
+  if (!warm) t.assign(n, 40.0);  // rough initial guess [°C]
   // SSOR-preconditioned CG over the banded operator: ~3-5x fewer
   // iterations than Jacobi on this stencil, and warm starts from `hint`
   // (previous fixed-point iterate or previous sweep point) cut the rest.
@@ -24,6 +27,10 @@ std::vector<double> ThermalModel::solve_steady(
        .max_iterations = 50000,
        .preconditioner = util::Preconditioner::kSsor,
        .ssor_omega = 1.7});
+  span.arg("cells", static_cast<double>(n));
+  span.arg("iterations", static_cast<double>(last_stats_.iterations));
+  span.arg("residual", last_stats_.residual);
+  span.arg("warm", warm ? 1.0 : 0.0);
   return t;
 }
 

@@ -3,11 +3,19 @@
 
 #include "tpcool/thermal/grid.hpp"
 #include "tpcool/util/error.hpp"
+#include "tpcool/util/telemetry.hpp"
 
 namespace tpcool::thermal {
 
 void ThermalModel::step_transient(std::vector<double>& t, double dt_s) const {
   TPCOOL_REQUIRE(dt_s > 0.0, "time step must be positive");
+  // A counter, not a span: adaptive segments take thousands of steps and
+  // each one already shows up as a "cg" span underneath.
+  if (util::telemetry_enabled()) {
+    static util::TelemetryCounter& steps =
+        util::Telemetry::instance().counter("thermal.transient_steps");
+    steps.add(1.0);
+  }
   assemble();
   const std::size_t n = cell_count();
   TPCOOL_REQUIRE(t.size() == n, "state vector size mismatch");

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "tpcool/util/stencil_operator.hpp"
+#include "tpcool/util/telemetry.hpp"
 #include "tpcool/util/thread_pool.hpp"
 
 namespace tpcool::util {
@@ -246,12 +247,26 @@ CgResult cg_impl(const Op& a, const std::vector<double>& b,
 CgResult solve_cg(const SparseMatrix& a, const std::vector<double>& b,
                   std::vector<double>& x, const CgOptions& options) {
   TPCOOL_REQUIRE(a.finalized(), "solve_cg: matrix not finalized");
-  return cg_impl(a, b, x, options);
+  TraceSpan span("cg");
+  const CgResult result = cg_impl(a, b, x, options);
+  span.arg("n", static_cast<double>(b.size()));
+  span.arg("iterations", static_cast<double>(result.iterations));
+  span.arg("residual", result.residual);
+  Telemetry::instance().histogram_record(
+      "cg.iterations", static_cast<double>(result.iterations));
+  return result;
 }
 
 CgResult solve_cg(const StencilOperator& a, const std::vector<double>& b,
                   std::vector<double>& x, const CgOptions& options) {
-  return cg_impl(a, b, x, options);
+  TraceSpan span("cg");
+  const CgResult result = cg_impl(a, b, x, options);
+  span.arg("n", static_cast<double>(b.size()));
+  span.arg("iterations", static_cast<double>(result.iterations));
+  span.arg("residual", result.residual);
+  Telemetry::instance().histogram_record(
+      "cg.iterations", static_cast<double>(result.iterations));
+  return result;
 }
 
 CgResult solve_sor(const SparseMatrix& a, const std::vector<double>& b,

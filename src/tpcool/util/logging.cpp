@@ -1,12 +1,31 @@
 #include "tpcool/util/logging.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
 
 namespace tpcool::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("TPCOOL_LOG_LEVEL");
+      env != nullptr && *env != '\0') {
+    if (const auto parsed = parse_log_level(env)) return *parsed;
+    // Can't use the logger here (it's being initialized); warn directly.
+    std::cerr << "[tpcool:WARN] ignoring unrecognized TPCOOL_LOG_LEVEL=\""
+              << env << "\" (want error|warn|info|debug or 0-3)\n";
+  }
+  return LogLevel::kWarn;
+}
+
+/// Lazily initialized so the env var is read on first logger use, whatever
+/// static-initialization order the program has.
+std::atomic<LogLevel>& level_slot() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,12 +38,25 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "error" || lower == "0") return LogLevel::kError;
+  if (lower == "warn" || lower == "warning" || lower == "1") return LogLevel::kWarn;
+  if (lower == "info" || lower == "2") return LogLevel::kInfo;
+  if (lower == "debug" || lower == "3") return LogLevel::kDebug;
+  return std::nullopt;
+}
 
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) { level_slot().store(level); }
+
+LogLevel log_level() { return level_slot().load(); }
 
 void log(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) > static_cast<int>(g_level.load())) return;
+  if (static_cast<int>(level) > static_cast<int>(level_slot().load())) return;
   if (message.empty()) return;
   std::cerr << "[tpcool:" << level_name(level) << "] " << message << '\n';
 }

@@ -2,9 +2,16 @@
 /// \file logging.hpp
 /// \brief Minimal leveled logger. Quiet by default so tests and benches stay
 ///        clean; verbose levels help when debugging solver convergence.
+///
+/// The initial threshold comes from the `TPCOOL_LOG_LEVEL` environment
+/// variable when set (`error`/`warn`/`info`/`debug`, case-insensitive, or
+/// the numeric values 0-3); otherwise it is `warn`.  `set_log_level`
+/// overrides it at any time.
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace tpcool::util {
 
@@ -13,6 +20,11 @@ enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 /// Global log threshold; messages above it are discarded.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
+
+/// Parse a TPCOOL_LOG_LEVEL value: a level name (`error`, `warn`, `info`,
+/// `debug`, case-insensitive) or its numeric value (`0`-`3`).  Returns
+/// nullopt on anything else (the caller keeps the current level).
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view text);
 
 /// Emit a message at the given level (to stderr).
 void log(LogLevel level, const std::string& message);

@@ -16,6 +16,13 @@
 /// variable (if set and positive) or std::thread::hardware_concurrency().
 /// Bench binaries expose a `--threads N` flag that calls
 /// `set_global_thread_count()` before the first solve.
+///
+/// Telemetry (docs/TRACING.md): with tracing enabled the pool maintains
+/// `pool.jobs` / `pool.chunks` counters, a `pool.chunks_per_job`
+/// histogram, a `pool.queue_depth` gauge (chunks outstanding when a job is
+/// posted, 0 between jobs), and per-worker busy-time counters
+/// (`pool.caller.busy_ms`, `pool.worker<i>.busy_ms`). Disabled tracing
+/// costs one atomic load per parallel_for / drain pass.
 
 #include <condition_variable>
 #include <cstddef>
@@ -82,10 +89,13 @@ class ThreadPool {
     std::size_t generation = 0;
   };
 
-  void worker_loop(const std::stop_token& stop);
+  void worker_loop(const std::stop_token& stop, std::size_t worker_index);
   /// Claim and run chunks of the current job until none remain. Returns
-  /// after the last chunk this thread ran is recorded.
-  void drain_job(std::unique_lock<std::mutex>& lock);
+  /// after the last chunk this thread ran is recorded. `worker_index` 0 is
+  /// the parallel_for caller, 1..N the pool workers; it selects the
+  /// telemetry busy-time counter (`pool.caller.busy_ms` /
+  /// `pool.worker<i>.busy_ms`) and is unused while telemetry is disabled.
+  void drain_job(std::unique_lock<std::mutex>& lock, std::size_t worker_index);
 
   std::mutex mutex_;
   std::condition_variable work_ready_;
